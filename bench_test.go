@@ -1,0 +1,109 @@
+// Package seqatpg's top-level benchmarks regenerate each table and
+// figure of the reproduced paper under the quick budget (one benchmark
+// per experiment, as required by the reproduction harness). Run the
+// full-budget versions with:
+//
+//	go run ./cmd/experiments -all
+package seqatpg
+
+import (
+	"sync"
+	"testing"
+
+	"seqatpg/internal/bench"
+)
+
+// sharedSuite memoizes circuits and ATPG runs across benchmarks so
+// repeated tables do not redo identical work within one bench process.
+var (
+	suiteOnce   sync.Once
+	sharedSuite *bench.Suite
+)
+
+func suite() *bench.Suite {
+	suiteOnce.Do(func() {
+		sharedSuite = bench.NewSuite(bench.QuickBudget())
+	})
+	return sharedSuite
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	s := suite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

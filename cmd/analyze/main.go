@@ -1,0 +1,78 @@
+// Command analyze reports a netlist's structural attributes (maximum
+// sequential depth, cycle statistics) and its state-space profile
+// (valid states, density of encoding) — the paper's Table 5 and Table
+// 6/7 instrumentation for a single circuit.
+//
+// Usage:
+//
+//	analyze -in a.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"seqatpg/internal/analyze"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/reach"
+	"seqatpg/internal/retime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	in := flag.String("in", "", "input netlist")
+	skipReach := flag.Bool("noreach", false, "skip the symbolic reachability analysis")
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := netlist.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := c.ComputeStats(netlist.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit:        %s\n", c.Name)
+	fmt.Printf("gates:          %d comb, %d DFFs, %d PIs, %d POs\n",
+		stats.Gates, stats.DFFs, stats.PIs, stats.POs)
+	fmt.Printf("area / delay:   %.0f / %.2f\n", stats.Area, stats.Delay)
+
+	attr, err := analyze.Analyze(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	note := ""
+	if attr.Truncated {
+		note = " (lower bounds; enumeration truncated)"
+	}
+	fmt.Printf("seq depth:      %d\n", attr.MaxSeqDepth)
+	fmt.Printf("max cycle len:  %d\n", attr.MaxCycleLength)
+	fmt.Printf("cycles (Lioy):  %d%s\n", attr.NumCycles, note)
+
+	if !*skipReach {
+		if c.ResetPI < 0 {
+			log.Fatal("circuit has no reset line; cannot run reachability (use -noreach)")
+		}
+		flush, err := retime.FlushLength(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ra, err := reach.Analyze(c, reach.Options{FlushCycles: flush})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("valid states:   %.0f of %.0f\n", ra.ValidStates, ra.TotalStates)
+		fmt.Printf("density:        %.3g\n", ra.Density)
+	}
+}

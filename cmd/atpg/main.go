@@ -1,0 +1,124 @@
+// Command atpg runs one of the three structural sequential test
+// generators over a netlist and reports coverage, efficiency, effort
+// and the traversed-state count.
+//
+// Usage:
+//
+//	atpg -in a.net -engine hitec -budget 3000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/atpg/attest"
+	"seqatpg/internal/atpg/hitec"
+	"seqatpg/internal/atpg/sest"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atpg: ")
+	in := flag.String("in", "", "input netlist")
+	engine := flag.String("engine", "hitec", "engine: hitec, attest, sest")
+	budget := flag.Int64("budget", 0, "per-fault effort budget in gate-frame evaluations (default: 8000 x gates)")
+	flush := flag.Int("flush", 0, "reset-hold cycles (default: measured from the circuit)")
+	showAborts := flag.Bool("aborts", false, "list the aborted faults")
+	relaxed := flag.Bool("relaxed", false, "retry failed state justifications on the good machine (recovers some aborts at extra effort)")
+	compact := flag.Bool("compact", false, "apply static compaction to the test set")
+	out := flag.String("o", "", "write the generated test vectors to this file")
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := netlist.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *budget == 0 {
+		*budget = 8000 * int64(c.NumGates())
+	}
+	if *flush == 0 {
+		n, err := retime.FlushLength(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*flush = n
+		if *flush < 1 {
+			*flush = 1
+		}
+	}
+
+	var cfg atpg.Config
+	switch *engine {
+	case "hitec":
+		cfg = hitec.DefaultConfig(*flush, *budget)
+	case "attest":
+		cfg = attest.DefaultConfig(*flush, *budget)
+	case "sest":
+		cfg = sest.DefaultConfig(*flush, *budget)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	cfg.RelaxedJustify = *relaxed
+	e, err := atpg.New(c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(c)
+	res, err := e.RunFaults(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Stats
+	fmt.Printf("circuit:   %s (%d gates, %d DFFs)\n", c.Name, c.NumGates(), c.NumDFFs())
+	fmt.Printf("engine:    %s\n", *engine)
+	fmt.Printf("faults:    %d total, %d detected, %d redundant, %d aborted\n",
+		s.Total, s.Detected, s.Redundant, s.Aborted)
+	fmt.Printf("coverage:  FC %.2f%%  FE %.2f%%\n", s.FC(), s.FE())
+	fmt.Printf("effort:    %d gate-frame evaluations, %d backtracks\n", s.Effort, s.Backtracks)
+	fmt.Printf("tests:     %d sequences\n", len(res.Tests))
+	tests := res.Tests
+	if *compact {
+		kept, err := atpg.CompactTests(c, tests, faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compacted: %d sequences (reverse-order static compaction)\n", len(kept))
+		tests = kept
+	}
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		if err := sim.WriteVectors(file, tests); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("written:   %s\n", *out)
+	}
+	fmt.Printf("states:    %d distinct states traversed\n", len(s.StatesTraversed))
+	if s.LearnHits+s.LearnPrunes > 0 {
+		fmt.Printf("learning:  %d cache hits, %d prunes\n", s.LearnHits, s.LearnPrunes)
+	}
+	if *showAborts {
+		for i, o := range res.Outcomes {
+			if o == atpg.Aborted {
+				fmt.Printf("  aborted: %v\n", faults[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the tables and figures of "Complexity
+// of Sequential ATPG" (Marchok, El-Maleh, Maly, Rajski; DATE 1995) on
+// the synthetic reproduction suite.
+//
+// Usage:
+//
+//	experiments -all            # every table and figure (full budget)
+//	experiments -table 2        # a single table
+//	experiments -figure 3       # the figure
+//	experiments -quick -all     # smoke-test budgets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seqatpg/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-8)")
+	figure := flag.Int("figure", 0, "regenerate one figure (3)")
+	all := flag.Bool("all", false, "regenerate everything")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	quick := flag.Bool("quick", false, "use small smoke-test budgets")
+	flag.Parse()
+
+	budget := bench.FullBudget()
+	if *quick {
+		budget = bench.QuickBudget()
+	}
+	s := bench.NewSuite(budget)
+
+	run := func(name string, f func() (string, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	tables := map[int]func() (string, error){
+		1: s.Table1,
+		2: func() (string, error) { _, out, err := s.Table2(); return out, err },
+		3: func() (string, error) { _, out, err := s.Table3(); return out, err },
+		4: func() (string, error) { _, out, err := s.Table4(); return out, err },
+		5: func() (string, error) { _, out, err := s.Table5(); return out, err },
+		6: func() (string, error) { _, out, err := s.Table6(); return out, err },
+		7: func() (string, error) { _, out, err := s.Table7(); return out, err },
+		8: func() (string, error) { _, out, err := s.Table8(); return out, err },
+	}
+
+	switch {
+	case *all:
+		for i := 1; i <= 8; i++ {
+			run(fmt.Sprintf("Table %d", i), tables[i])
+		}
+		run("Figure 3", func() (string, error) { _, out, err := s.Figure3(); return out, err })
+	case *table >= 1 && *table <= 8:
+		run(fmt.Sprintf("Table %d", *table), tables[*table])
+	case *figure == 3:
+		run("Figure 3", func() (string, error) { _, out, err := s.Figure3(); return out, err })
+	case *ablations:
+		run("Ablation: unreachable-state don't-cares", s.AblationDC)
+		run("Ablation: SEST search-state learning", s.AblationLearning)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

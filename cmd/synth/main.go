@@ -1,0 +1,123 @@
+// Command synth lowers an FSM to a mapped gate-level netlist with an
+// explicit reset line, reproducing the paper's SIS synthesis flow.
+//
+// Usage:
+//
+//	synth -fsm dk16 -alg ji -script sd -o dk16.net
+//	synth -kiss machine.kiss2 -alg jc -script sr -o out.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synth: ")
+	fsmName := flag.String("fsm", "", "benchmark FSM name (dk16, pma, s510, s820, s832, scf)")
+	kiss := flag.String("kiss", "", "KISS2 file to synthesize instead of a benchmark FSM")
+	alg := flag.String("alg", "jc", "state assignment: ji (input dominant), jo (output dominant), jc (combined)")
+	script := flag.String("script", "sr", "synthesis script: sr (rugged/area) or sd (delay)")
+	noDC := flag.Bool("nodc", false, "disable unreachable-state don't-cares (ablation)")
+	minimize := flag.Bool("minimize", true, "run state minimization before synthesis")
+	out := flag.String("o", "", "output netlist path (default: stdout)")
+	dot := flag.String("dot", "", "also write the state transition graph in Graphviz DOT format")
+	flag.Parse()
+
+	var m *fsm.FSM
+	var err error
+	switch {
+	case *kiss != "":
+		f, ferr := os.Open(*kiss)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		m, err = fsm.ReadKISS2(f)
+		f.Close()
+	case *fsmName != "":
+		for _, b := range fsm.Suite() {
+			if b.Spec.Name == *fsmName {
+				m, err = fsm.Generate(b.Spec)
+				break
+			}
+		}
+		if m == nil && err == nil {
+			err = fmt.Errorf("unknown benchmark FSM %q", *fsmName)
+		}
+	default:
+		log.Fatal("one of -fsm or -kiss is required")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *minimize {
+		if m, err = fsm.Minimize(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var algorithm encode.Algorithm
+	switch *alg {
+	case "ji":
+		algorithm = encode.InputDominant
+	case "jo":
+		algorithm = encode.OutputDominant
+	case "jc":
+		algorithm = encode.Combined
+	default:
+		log.Fatalf("unknown -alg %q", *alg)
+	}
+	var sc synth.Script
+	switch *script {
+	case "sr":
+		sc = synth.Rugged
+	case "sd":
+		sc = synth.Delay
+	default:
+		log.Fatalf("unknown -script %q", *script)
+	}
+
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: algorithm, Script: sc, UseUnreachableDC: !*noDC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := r.Circuit.ComputeStats(netlist.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "synth: %s: %d gates, %d DFFs, area %.0f, delay %.2f, depth %d\n",
+		r.Circuit.Name, stats.Gates, stats.DFFs, stats.Area, stats.Delay, stats.MaxLvl)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := netlist.Write(w, r.Circuit); err != nil {
+		log.Fatal(err)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := fsm.WriteDOT(f, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Dftadvisor is the paper's motivating application: without an
+// understanding of what makes sequential ATPG expensive, designers
+// cannot tell which blocks need design-for-testability hardware. This
+// example computes the density of encoding for a set of circuits and
+// flags the ones where structural ATPG is predicted to struggle — the
+// low-density circuits that deserve scan insertion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/reach"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/synth"
+)
+
+// block is one circuit under triage.
+type block struct {
+	name    string
+	dffs    int
+	density float64
+}
+
+func main() {
+	log.SetFlags(0)
+	lib := netlist.DefaultLibrary()
+
+	// Build a portfolio: three benchmark controllers, each in an
+	// as-synthesized and a retimed variant.
+	var blocks []block
+	for _, name := range []string{"dk16", "pma", "s820"} {
+		var spec fsm.GenSpec
+		for _, b := range fsm.Suite() {
+			if b.Spec.Name == name {
+				spec = b.Spec
+			}
+		}
+		raw := fsm.MustGenerate(spec)
+		m, err := fsm.Minimize(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := synth.Synthesize(m, synth.Options{
+			Algorithm: encode.Combined, Script: synth.Rugged, UseUnreachableDC: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ra, err := reach.Analyze(r.Circuit, reach.Options{FlushCycles: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocks = append(blocks, block{r.Circuit.Name, r.Circuit.NumDFFs(), ra.Density})
+
+		re, err := retime.Backward(r.Circuit, lib, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := reach.Analyze(re.Circuit, reach.Options{FlushCycles: re.FlushCycles})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocks = append(blocks, block{re.Circuit.Name, re.Circuit.NumDFFs(), rr.Density})
+	}
+
+	// Rank by density: the paper's evidence says ATPG effort explodes
+	// as density falls, so the advisor triages lowest-density first.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].density < blocks[j].density })
+
+	fmt.Printf("%-18s %6s %12s %8s  %s\n", "block", "#DFF", "density", "-log10", "advice")
+	for _, b := range blocks {
+		advice := "sequential ATPG fine"
+		switch {
+		case b.density < 1e-3:
+			advice = "FULL SCAN: structural ATPG will not converge"
+		case b.density < 0.2:
+			advice = "partial scan: expect long ATPG runtimes"
+		}
+		fmt.Printf("%-18s %6d %12.3g %8.1f  %s\n",
+			b.name, b.dffs, b.density, -math.Log10(b.density), advice)
+	}
+
+	fmt.Println("\nrationale: density of encoding = valid states / 2^#DFF.")
+	fmt.Println("Structural test generators know nothing of the state transition")
+	fmt.Println("graph; in a sparse encoding nearly every state-justification")
+	fmt.Println("objective lands in invalid state space and backtracks (the paper's")
+	fmt.Println("Section 5). Scan converts state bits into pins, restoring density 1.")
+}

@@ -1,0 +1,106 @@
+// Preservation demonstrates the paper's Theorem 1: retiming preserves
+// single stuck-at testability. A test set generated for the original
+// circuit, prefixed with a register-flush sequence P (the paper's P∪T
+// construction), detects the corresponding faults of the retimed
+// circuit — even when the ATPG, given the retimed circuit directly,
+// fails to reach comparable coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqatpg/internal/atpg/hitec"
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/sim"
+	"seqatpg/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	lib := netlist.DefaultLibrary()
+
+	raw := fsm.MustGenerate(fsm.GenSpec{Name: "pma", Inputs: 7, Outputs: 8, States: 24, Seed: 2402})
+	m, err := fsm.Minimize(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.OutputDominant, Script: synth.Delay, UseUnreachableDC: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := r.Circuit
+	re, err := retime.Backward(orig, lib, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original %s: %d DFFs;  retimed: %d DFFs, flush prefix %d cycles\n",
+		orig.Name, orig.NumDFFs(), re.Circuit.NumDFFs(), re.FlushCycles)
+
+	// 1. Generate a test set for the ORIGINAL circuit.
+	e, err := hitec.New(orig, 1, 3_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original test set: %d sequences, FC %.1f%% on the original\n",
+		len(res.Tests), res.Stats.FC())
+
+	// 2. Adapt each test for the retimed circuit: replace the single
+	//    reset cycle with the flush prefix P (arbitrary vectors with
+	//    reset held), then the original vectors T.
+	flush := make([][]sim.Val, re.FlushCycles)
+	for k := range flush {
+		vec := make([]sim.Val, len(re.Circuit.PIs))
+		for i, id := range re.Circuit.PIs {
+			if id == re.Circuit.ResetPI {
+				vec[i] = sim.V1
+			}
+		}
+		flush[k] = vec
+	}
+
+	// 3. Fault-simulate the adapted set on the RETIMED circuit.
+	faults := fault.CollapsedUniverse(re.Circuit)
+	fs, err := fault.NewSimulator(re.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detected := make([]bool, len(faults))
+	for _, seq := range res.Tests {
+		adapted := append(append([][]sim.Val{}, flush...), seq[1:]...)
+		det, err := fs.Detects(adapted, faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, d := range det {
+			detected[i] = detected[i] || d
+		}
+	}
+	cov := fault.Summarize(detected)
+	fmt.Printf("P∪T on the retimed circuit: FC %.1f%% of %d faults\n", cov.FC(), cov.Total)
+
+	// 4. Contrast: the ATPG working on the retimed circuit directly.
+	e2, err := hitec.New(re.Circuit, re.FlushCycles, 3_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := e2.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ATPG directly on the retimed circuit: FC %.1f%% (same per-fault budget)\n",
+		res2.Stats.FC())
+	fmt.Println("\nTheorem 1 in action: the retimed circuit is perfectly testable —")
+	fmt.Println("the original circuit's tests prove it — but its sparse encoding")
+	fmt.Println("defeats the structural generator that must find tests from scratch.")
+}

@@ -1,0 +1,100 @@
+// Quickstart: define a small FSM, synthesize it to gates, run the
+// HITEC-style sequential ATPG, and print the resulting test set and
+// coverage. This walks the library's core pipeline end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"seqatpg/internal/atpg/hitec"
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/logic"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-state sequence detector: output fires after input pattern 1,1,0.
+	m := &fsm.FSM{
+		Name:       "det110",
+		NumInputs:  1,
+		NumOutputs: 1,
+		States:     []string{"idle", "got1", "got11", "fire"},
+		Reset:      0,
+	}
+	add := func(in string, from, to int, out string) {
+		m.Trans = append(m.Trans, fsm.Transition{
+			Input:  logic.MustParseCube(in),
+			From:   from,
+			To:     to,
+			Output: logic.MustParseCube(out),
+		})
+	}
+	add("0", 0, 0, "0")
+	add("1", 0, 1, "0")
+	add("0", 1, 0, "0")
+	add("1", 1, 2, "0")
+	add("0", 2, 3, "1")
+	add("1", 2, 2, "0")
+	add("0", 3, 0, "0")
+	add("1", 3, 1, "0")
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesize with the combined (jc) state assignment and the rugged
+	// script, using unreachable-state don't-cares like SIS extract_seq_dc.
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm:        encode.Combined,
+		Script:           synth.Rugged,
+		UseUnreachableDC: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := r.Circuit.ComputeStats(netlist.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %s: %d gates, %d DFFs, area %.0f, delay %.2f\n",
+		r.Circuit.Name, stats.Gates, stats.DFFs, stats.Area, stats.Delay)
+	for s, code := range r.Encoding.Code {
+		fmt.Printf("  state %-6s -> code %0*b\n", m.States[s], r.Encoding.Bits, code)
+	}
+
+	// Run the HITEC-style ATPG (flush = 1 reset cycle, generous budget).
+	e, err := hitec.New(r.Circuit, 1, 5_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("\nATPG: %d faults, FC %.1f%%, FE %.1f%%, %d tests, %d states traversed\n",
+		st.Total, st.FC(), st.FE(), len(res.Tests), len(st.StatesTraversed))
+
+	// Show the first few test sequences. Input order is [reset, in0].
+	fmt.Println("\nfirst test sequences (reset, in):")
+	for i, seq := range res.Tests {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(res.Tests)-3)
+			break
+		}
+		var steps []string
+		for _, vec := range seq {
+			var b strings.Builder
+			for _, v := range vec {
+				b.WriteString(v.String())
+			}
+			steps = append(steps, b.String())
+		}
+		fmt.Printf("  test %d: %s\n", i+1, strings.Join(steps, " -> "))
+	}
+}

@@ -1,0 +1,3 @@
+module seqatpg
+
+go 1.22

@@ -1,0 +1,330 @@
+// Package analyze computes the structural circuit attributes that the
+// reproduced paper's Table 5 reports and that were traditionally
+// associated with sequential ATPG complexity:
+//
+//   - Maximum sequential depth: the largest number of D flip-flops on
+//     any primary-input-to-primary-output path that visits each circuit
+//     node at most once (the paper's definition, at gate granularity).
+//     Invariant under retiming (Theorem 2).
+//   - Maximum cycle length: the largest number of D flip-flops on any
+//     simple cycle, again at gate granularity. Invariant under retiming
+//     (Theorem 4).
+//   - Number of cycles, counted per unique D flip-flop subset on the
+//     register graph — the Lioy/Montessoro/Gai-style algorithm the
+//     paper uses, which (as the paper's Figure 2 discussion explains)
+//     can report more cycles for a retimed circuit even though the true
+//     cycle structure is preserved (Theorem 3).
+//
+// The depth and cycle-length searches are exact branch-and-bound DFS
+// with an exploration budget; Truncated is set if the budget ran out
+// (results are then lower bounds).
+package analyze
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"seqatpg/internal/netlist"
+)
+
+// Attributes is the Table 5 triple.
+type Attributes struct {
+	MaxSeqDepth    int
+	MaxCycleLength int
+	NumCycles      int
+	// Truncated is set when a search hit the exploration budget; the
+	// reported values are then lower bounds.
+	Truncated bool
+}
+
+// String renders the attributes like the paper's Table 5 rows.
+func (a Attributes) String() string {
+	s := fmt.Sprintf("depth=%d maxCycle=%d cycles=%d", a.MaxSeqDepth, a.MaxCycleLength, a.NumCycles)
+	if a.Truncated {
+		s += " (truncated)"
+	}
+	return s
+}
+
+// explorationBudget bounds the DFS work per search.
+const explorationBudget = 3_000_000
+
+// Analyze computes the structural attributes of the circuit.
+func Analyze(c *netlist.Circuit) (Attributes, error) {
+	if _, err := c.TopoOrder(); err != nil {
+		return Attributes{}, err
+	}
+	a := Attributes{}
+	var trunc1, trunc2, trunc3 bool
+	a.MaxSeqDepth, trunc1 = maxSeqDepth(c)
+	a.MaxCycleLength, trunc2 = maxCycleLength(c)
+	g, err := BuildRegisterGraph(c)
+	if err != nil {
+		return Attributes{}, err
+	}
+	var sets map[string]bool
+	sets, trunc3 = cycleSets(g)
+	a.NumCycles = len(sets)
+	a.Truncated = trunc1 || trunc2 || trunc3
+	return a, nil
+}
+
+// bitset is a simple dynamic bitset over DFF indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// countExcluding returns |b \ excl|.
+func (b bitset) countExcluding(excl bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] &^ excl[i])
+	}
+	return n
+}
+
+func (b bitset) key() string { return fmt.Sprint([]uint64(b)) }
+
+// reachableDFFs computes, per gate, the set of DFF indices reachable
+// forward through the circuit (crossing registers freely). Used as the
+// optimistic bound in the branch-and-bound searches.
+func reachableDFFs(c *netlist.Circuit, fanouts [][]int) []bitset {
+	n := len(c.Gates)
+	nd := len(c.DFFs)
+	dffIdx := map[int]int{}
+	for i, id := range c.DFFs {
+		dffIdx[id] = i
+	}
+	reach := make([]bitset, n)
+	for i := range reach {
+		reach[i] = newBitset(nd)
+		if k, ok := dffIdx[i]; ok {
+			reach[i].set(k)
+		}
+	}
+	// Iterate to fixpoint (the graph is cyclic through DFFs).
+	for changed := true; changed; {
+		changed = false
+		for id := range c.Gates {
+			before := reach[id].key()
+			for _, o := range fanouts[id] {
+				reach[id].or(reach[o])
+			}
+			if reach[id].key() != before {
+				changed = true
+			}
+		}
+	}
+	return reach
+}
+
+// reachesPO computes, per gate, whether any primary output is reachable
+// forward.
+func reachesPO(c *netlist.Circuit, fanouts [][]int) []bool {
+	n := len(c.Gates)
+	out := make([]bool, n)
+	var stack []int
+	for _, id := range c.POs {
+		out[id] = true
+		stack = append(stack, id)
+	}
+	// Reverse reachability from POs.
+	faninOf := func(id int) []int { return c.Gates[id].Fanin }
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range faninOf(id) {
+			if !out[f] {
+				out[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return out
+}
+
+// maxSeqDepth finds the largest number of DFFs on any simple PI-to-PO
+// path at gate granularity, by branch-and-bound DFS.
+func maxSeqDepth(c *netlist.Circuit) (int, bool) {
+	fanouts := c.Fanouts()
+	reach := reachableDFFs(c, fanouts)
+	toPO := reachesPO(c, fanouts)
+	nd := len(c.DFFs)
+	dffIdx := map[int]int{}
+	for i, id := range c.DFFs {
+		dffIdx[id] = i
+	}
+
+	best := 0
+	budget := explorationBudget
+	truncated := false
+	visited := make([]bool, len(c.Gates))
+	visitedDFFs := newBitset(nd)
+
+	var dfs func(id, depth int)
+	dfs = func(id, depth int) {
+		if budget <= 0 {
+			truncated = true
+			return
+		}
+		budget--
+		if c.Gates[id].Type == netlist.Output {
+			if depth > best {
+				best = depth
+			}
+			return
+		}
+		// Optimistic bound: current depth plus every not-yet-visited DFF
+		// still reachable from here.
+		if depth+reach[id].countExcluding(visitedDFFs) <= best {
+			return
+		}
+		// Explore high-potential successors first so pruning bites early.
+		succ := append([]int(nil), fanouts[id]...)
+		sort.Slice(succ, func(a, b int) bool {
+			return reach[succ[a]].countExcluding(visitedDFFs) > reach[succ[b]].countExcluding(visitedDFFs)
+		})
+		for _, o := range succ {
+			if visited[o] || !toPO[o] {
+				continue
+			}
+			d := depth
+			var di int
+			isDFF := false
+			if k, ok := dffIdx[o]; ok {
+				d++
+				di = k
+				isDFF = true
+			}
+			visited[o] = true
+			if isDFF {
+				visitedDFFs.set(di)
+			}
+			dfs(o, d)
+			if isDFF {
+				visitedDFFs.clear(di)
+			}
+			visited[o] = false
+		}
+	}
+	for _, pi := range c.PIs {
+		if !toPO[pi] {
+			continue
+		}
+		visited[pi] = true
+		dfs(pi, 0)
+		visited[pi] = false
+	}
+	return best, truncated
+}
+
+// maxCycleLength finds the largest number of DFFs on any simple cycle at
+// gate granularity: for each DFF (as canonical root, smallest id in its
+// cycle), branch-and-bound DFS back to the root.
+func maxCycleLength(c *netlist.Circuit) (int, bool) {
+	fanouts := c.Fanouts()
+	reach := reachableDFFs(c, fanouts)
+	nd := len(c.DFFs)
+	dffIdx := map[int]int{}
+	for i, id := range c.DFFs {
+		dffIdx[id] = i
+	}
+	best := 0
+	truncated := false
+
+	for rootPos, root := range c.DFFs {
+		// Gates that can reach the root (reverse BFS) — everything else
+		// is a dead end for this root.
+		canReach := make([]bool, len(c.Gates))
+		{
+			canReach[root] = true
+			work := []int{root}
+			for len(work) > 0 {
+				id := work[len(work)-1]
+				work = work[:len(work)-1]
+				for _, f := range c.Gates[id].Fanin {
+					if !canReach[f] {
+						canReach[f] = true
+						work = append(work, f)
+					}
+				}
+			}
+		}
+
+		budget := explorationBudget / len(c.DFFs)
+		if budget < 100_000 {
+			budget = 100_000
+		}
+		visited := make([]bool, len(c.Gates))
+		visitedDFFs := newBitset(nd)
+		visited[root] = true
+		visitedDFFs.set(rootPos)
+
+		var dfs func(id, count int)
+		dfs = func(id, count int) {
+			if budget <= 0 {
+				truncated = true
+				return
+			}
+			budget--
+			if count+reach[id].countExcluding(visitedDFFs) <= best {
+				// Even absorbing every remaining reachable DFF cannot
+				// beat the incumbent. (reach includes the root only if
+				// unvisited, so add 0; count already includes root.)
+				return
+			}
+			for _, o := range fanouts[id] {
+				if o == root {
+					if count > best {
+						best = count
+					}
+					continue
+				}
+				if visited[o] || !canReach[o] {
+					continue
+				}
+				// Canonical rooting: skip DFFs with smaller index than
+				// the root; their cycles are found from their own root.
+				cnt := count
+				var di int
+				isDFF := false
+				if k, ok := dffIdx[o]; ok {
+					if k < rootPos {
+						continue
+					}
+					cnt++
+					di = k
+					isDFF = true
+				}
+				visited[o] = true
+				if isDFF {
+					visitedDFFs.set(di)
+				}
+				dfs(o, cnt)
+				if isDFF {
+					visitedDFFs.clear(di)
+				}
+				visited[o] = false
+			}
+		}
+		dfs(root, 1)
+	}
+	return best, truncated
+}

@@ -1,0 +1,181 @@
+package analyze
+
+import (
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/synth"
+)
+
+// ring builds a ring of n DFFs with a PI entering the ring and a PO
+// observing the last register: in -> ff0 -> ff1 -> ... -> ffn-1 -> out,
+// plus a feedback edge ffn-1 -> ff0 through an OR with the input.
+func ring(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("ring")
+	in := c.AddGate(netlist.Input, "in")
+	ffs := make([]int, n)
+	for i := range ffs {
+		ffs[i] = c.AddGate(netlist.DFF, "", 0)
+	}
+	or := c.AddGate(netlist.Or, "fb", in, ffs[n-1])
+	c.Gates[ffs[0]].Fanin[0] = or
+	for i := 1; i < n; i++ {
+		c.Gates[ffs[i]].Fanin[0] = ffs[i-1]
+	}
+	c.AddGate(netlist.Output, "out", ffs[n-1])
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRingAttributes(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		c := ring(t, n)
+		a, err := Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MaxSeqDepth != n {
+			t.Errorf("ring(%d): depth = %d, want %d", n, a.MaxSeqDepth, n)
+		}
+		if a.MaxCycleLength != n {
+			t.Errorf("ring(%d): max cycle = %d, want %d", n, a.MaxCycleLength, n)
+		}
+		if a.NumCycles != 1 {
+			t.Errorf("ring(%d): cycles = %d, want 1", n, a.NumCycles)
+		}
+	}
+}
+
+// TestFigure2Semantics reproduces the paper's Figure 2 discussion: two
+// parallel combinational paths between the same pair of registers count
+// as ONE cycle (unique DFF-set counting), and after splitting the first
+// register into two (one per path) the count becomes two.
+func TestFigure2Semantics(t *testing.T) {
+	// Before: Q1 -> {G1 path, Gnot/G2 path} -> G3 -> Q... modelled as a
+	// 2-register loop where the combinational middle has two parallel
+	// branches.
+	before := netlist.New("fig2a")
+	q1 := before.AddGate(netlist.DFF, "q1", 0)
+	q2 := before.AddGate(netlist.DFF, "q2", 0)
+	g1 := before.AddGate(netlist.Buf, "g1", q2)
+	gn := before.AddGate(netlist.Not, "gnot", q2)
+	g2 := before.AddGate(netlist.Buf, "g2", gn)
+	g3 := before.AddGate(netlist.Or, "g3", g1, g2)
+	before.Gates[q1].Fanin[0] = g3
+	before.Gates[q2].Fanin[0] = q1
+	before.AddGate(netlist.Output, "o", q2)
+	in := before.AddGate(netlist.Input, "in")
+	_ = in
+	if err := before.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCycles != 1 || a.MaxCycleLength != 2 {
+		t.Errorf("before: %v, want 1 cycle of length 2", a)
+	}
+
+	// After retiming q1 backward across g3: one register per branch.
+	after := netlist.New("fig2b")
+	q1a := after.AddGate(netlist.DFF, "q1a", 0)
+	q1b := after.AddGate(netlist.DFF, "q1b", 0)
+	q2b := after.AddGate(netlist.DFF, "q2", 0)
+	g1b := after.AddGate(netlist.Buf, "g1", q2b)
+	gnb := after.AddGate(netlist.Not, "gnot", q2b)
+	g2b := after.AddGate(netlist.Buf, "g2", gnb)
+	after.Gates[q1a].Fanin[0] = g1b
+	after.Gates[q1b].Fanin[0] = g2b
+	g3b := after.AddGate(netlist.Or, "g3", q1a, q1b)
+	after.Gates[q2b].Fanin[0] = g3b
+	after.AddGate(netlist.Output, "o", q2b)
+	after.AddGate(netlist.Input, "in")
+	if err := after.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCycles != 2 {
+		t.Errorf("after: %d cycles, want 2 (the Figure 2 doubling)", b.NumCycles)
+	}
+	if b.MaxCycleLength != 2 {
+		t.Errorf("after: max cycle %d, want 2 (Theorem 4 invariance)", b.MaxCycleLength)
+	}
+}
+
+func synthesized(t *testing.T, seed int64) *netlist.Circuit {
+	t.Helper()
+	m, err := fsm.Generate(fsm.GenSpec{Name: "an", Inputs: 4, Outputs: 3, States: 11, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.Combined, Script: synth.Rugged, UseUnreachableDC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Circuit
+}
+
+// TestTheorems234 is the paper's core structural claim: retiming leaves
+// the maximum sequential depth and maximum cycle length unchanged while
+// the counted number of cycles may grow.
+func TestTheorems234(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	for _, seed := range []int64{7, 21, 40} {
+		c := synthesized(t, seed)
+		orig, err := Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := retime.Backward(c, lib, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := Analyze(res.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.Truncated || re.Truncated {
+			t.Fatalf("seed %d: enumeration truncated, circuit too dense for the test", seed)
+		}
+		if re.MaxSeqDepth != orig.MaxSeqDepth {
+			t.Errorf("seed %d: depth changed %d -> %d (Theorem 2 violated)",
+				seed, orig.MaxSeqDepth, re.MaxSeqDepth)
+		}
+		if re.MaxCycleLength != orig.MaxCycleLength {
+			t.Errorf("seed %d: max cycle changed %d -> %d (Theorem 4 violated)",
+				seed, orig.MaxCycleLength, re.MaxCycleLength)
+		}
+		if re.NumCycles < orig.NumCycles {
+			t.Errorf("seed %d: counted cycles shrank %d -> %d",
+				seed, orig.NumCycles, re.NumCycles)
+		}
+		t.Logf("seed %d: orig %v | re %v (DFFs %d -> %d)", seed, orig, re,
+			c.NumDFFs(), res.Circuit.NumDFFs())
+	}
+}
+
+func TestPurelyCombinational(t *testing.T) {
+	c := netlist.New("comb")
+	a := c.AddGate(netlist.Input, "a")
+	n := c.AddGate(netlist.Not, "n", a)
+	c.AddGate(netlist.Output, "o", n)
+	attr, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.MaxSeqDepth != 0 || attr.NumCycles != 0 || attr.MaxCycleLength != 0 {
+		t.Errorf("combinational circuit: %v", attr)
+	}
+}

@@ -1,0 +1,70 @@
+package analyze
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130) // spans three words
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if b.get(i) {
+			t.Errorf("fresh bitset has bit %d set", i)
+		}
+		b.set(i)
+		if !b.get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	b.clear(64)
+	if b.get(64) {
+		t.Error("bit 64 not cleared")
+	}
+	if b.get(63) != true || b.get(65) {
+		t.Error("clear disturbed neighbours")
+	}
+}
+
+func TestBitsetOrCloneCount(t *testing.T) {
+	a := newBitset(100)
+	b := newBitset(100)
+	a.set(3)
+	a.set(70)
+	b.set(70)
+	b.set(99)
+	c := a.clone()
+	c.or(b)
+	// c = {3, 70, 99}; a unchanged.
+	if !c.get(3) || !c.get(70) || !c.get(99) {
+		t.Error("or missed bits")
+	}
+	if a.get(99) {
+		t.Error("clone aliases the original")
+	}
+	// countExcluding: |c \ b| = |{3}| = 1.
+	if n := c.countExcluding(b); n != 1 {
+		t.Errorf("countExcluding = %d, want 1", n)
+	}
+	empty := newBitset(100)
+	if n := c.countExcluding(empty); n != 3 {
+		t.Errorf("countExcluding(empty) = %d, want 3", n)
+	}
+}
+
+func TestBitsetKeyDistinguishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for trial := 0; trial < 200; trial++ {
+		b := newBitset(80)
+		for i := 0; i < 80; i++ {
+			if rng.Intn(2) == 1 {
+				b.set(i)
+			}
+		}
+		seen[b.key()] = true
+	}
+	// 200 random 80-bit sets collide with negligible probability.
+	if len(seen) < 195 {
+		t.Errorf("key() collides too often: %d distinct of 200", len(seen))
+	}
+}

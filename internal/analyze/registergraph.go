@@ -1,0 +1,164 @@
+package analyze
+
+import (
+	"sort"
+
+	"seqatpg/internal/netlist"
+)
+
+// RegisterGraph is the DFF-level abstraction of a circuit: one node per
+// DFF plus virtual PI/PO terminal nodes, with an edge wherever a purely
+// combinational path connects the endpoints. It underlies the
+// Lioy-style cycle counting of Table 5.
+type RegisterGraph struct {
+	// NumDFF nodes are numbered 0..NumDFF-1 in circuit DFF order; the
+	// virtual PI node is NumDFF and the virtual PO node is NumDFF+1.
+	NumDFF int
+	Adj    [][]int
+}
+
+// PINode returns the virtual primary-input node id.
+func (g *RegisterGraph) PINode() int { return g.NumDFF }
+
+// PONode returns the virtual primary-output node id.
+func (g *RegisterGraph) PONode() int { return g.NumDFF + 1 }
+
+// BuildRegisterGraph extracts the register graph: an edge u→v when a
+// combinational path runs from source u (a DFF output or any PI) to
+// sink v (a DFF D-input or any PO).
+func BuildRegisterGraph(c *netlist.Circuit) (*RegisterGraph, error) {
+	if _, err := c.TopoOrder(); err != nil {
+		return nil, err
+	}
+	n := len(c.DFFs)
+	g := &RegisterGraph{NumDFF: n, Adj: make([][]int, n+2)}
+	dffIndex := map[int]int{}
+	for i, id := range c.DFFs {
+		dffIndex[id] = i
+	}
+	fanouts := c.Fanouts()
+
+	reach := func(src int) (dffs map[int]bool, po bool) {
+		dffs = map[int]bool{}
+		seen := make([]bool, len(c.Gates))
+		stack := append([]int(nil), fanouts[src]...)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			switch c.Gates[id].Type {
+			case netlist.DFF:
+				dffs[dffIndex[id]] = true
+			case netlist.Output:
+				po = true
+			default:
+				stack = append(stack, fanouts[id]...)
+			}
+		}
+		return dffs, po
+	}
+
+	addEdges := func(from int, dffs map[int]bool, po bool) {
+		var targets []int
+		for d := range dffs {
+			targets = append(targets, d)
+		}
+		sort.Ints(targets)
+		g.Adj[from] = append(g.Adj[from], targets...)
+		if po {
+			g.Adj[from] = append(g.Adj[from], g.PONode())
+		}
+	}
+
+	for i, id := range c.DFFs {
+		dffs, po := reach(id)
+		addEdges(i, dffs, po)
+	}
+	piDffs := map[int]bool{}
+	piPO := false
+	for _, id := range c.PIs {
+		dffs, po := reach(id)
+		for d := range dffs {
+			piDffs[d] = true
+		}
+		piPO = piPO || po
+	}
+	addEdges(g.PINode(), piDffs, piPO)
+	return g, nil
+}
+
+// cycleSets enumerates the distinct DFF subsets that form simple cycles
+// in the register graph: the Lioy-style count where at most one cycle
+// exists per unique subset of flip-flops, regardless of how many
+// combinational paths realize it. Cycles are enumerated Johnson-style
+// with the smallest member as the root and collected as set keys.
+func cycleSets(g *RegisterGraph) (map[string]bool, bool) {
+	sets := map[string]bool{}
+	budget := explorationBudget
+	truncated := false
+	n := g.NumDFF
+	// Reverse adjacency over the DFF nodes, for per-root pruning.
+	radj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Adj[u] {
+			if v < n {
+				radj[v] = append(radj[v], u)
+			}
+		}
+	}
+	visited := make([]bool, n)
+	inStack := newBitset(n)
+	canReach := make([]bool, n)
+	var dfs func(root, node int)
+	dfs = func(root, node int) {
+		if budget <= 0 {
+			truncated = true
+			return
+		}
+		budget--
+		for _, next := range g.Adj[node] {
+			if next >= n {
+				continue // virtual terminals take no part in cycles
+			}
+			if next == root {
+				sets[inStack.key()] = true
+				continue
+			}
+			if next < root || visited[next] || !canReach[next] {
+				continue // only cycles rooted at their smallest member
+			}
+			visited[next] = true
+			inStack.set(next)
+			dfs(root, next)
+			inStack.clear(next)
+			visited[next] = false
+		}
+	}
+	for root := 0; root < n; root++ {
+		// canReach: DFF nodes ≥ root with a path back to root.
+		for i := range canReach {
+			canReach[i] = false
+		}
+		work := []int{root}
+		canReach[root] = true
+		for len(work) > 0 {
+			v := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, u := range radj[v] {
+				if u >= root && !canReach[u] {
+					canReach[u] = true
+					work = append(work, u)
+				}
+			}
+		}
+		visited[root] = true
+		inStack.set(root)
+		dfs(root, root)
+		inStack.clear(root)
+		visited[root] = false
+	}
+	return sets, truncated
+}

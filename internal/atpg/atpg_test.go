@@ -1,0 +1,266 @@
+package atpg
+
+import (
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+	"seqatpg/internal/synth"
+)
+
+func synthC(t *testing.T, states int, seed int64) *netlist.Circuit {
+	t.Helper()
+	m, err := fsm.Generate(fsm.GenSpec{Name: "tg", Inputs: 3, Outputs: 2, States: states, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.Combined, Script: synth.Rugged, UseUnreachableDC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Circuit
+}
+
+func defaultCfg() Config {
+	return Config{
+		Name:           "test",
+		MaxFrames:      8,
+		MaxBackSteps:   40,
+		BacktrackLimit: 4000,
+		FaultBudget:    50_000_000,
+		FlushCycles:    1,
+	}
+}
+
+func TestEngineRequiresReset(t *testing.T) {
+	c := netlist.New("nr")
+	in := c.AddGate(netlist.Input, "in")
+	ff := c.AddGate(netlist.DFF, "q", in)
+	c.AddGate(netlist.Output, "o", ff)
+	if _, err := New(c, defaultCfg()); err == nil {
+		t.Error("expected error without reset line")
+	}
+}
+
+// TestHighCoverageOnSmallMachine: the engine should detect nearly every
+// fault of a small synthesized control circuit and confirm each test by
+// fault simulation.
+func TestHighCoverageOnSmallMachine(t *testing.T) {
+	c := synthC(t, 7, 5)
+	e, err := New(c, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	t.Logf("total=%d detected=%d redundant=%d aborted=%d FE=%.1f effort=%d states=%d",
+		s.Total, s.Detected, s.Redundant, s.Aborted, s.FE(), s.Effort, len(s.StatesTraversed))
+	if s.FE() < 95 {
+		t.Errorf("fault efficiency %.1f%% too low for a small machine", s.FE())
+	}
+	if s.Detected == 0 {
+		t.Fatal("no faults detected at all")
+	}
+	if len(res.Tests) == 0 {
+		t.Fatal("no tests emitted")
+	}
+}
+
+// TestAllTestsDetectTheirFaults: re-simulate all emitted sequences and
+// confirm the reported coverage is reproducible from the test set alone.
+func TestTestSetReproducesCoverage(t *testing.T) {
+	c := synthC(t, 7, 9)
+	e, err := New(c, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(c)
+	fs, err := fault.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := make([]bool, len(faults))
+	for _, seq := range res.Tests {
+		det, err := fs.Detects(seq, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range det {
+			detected[i] = detected[i] || d
+		}
+	}
+	cov := fault.Summarize(detected)
+	if cov.Detected < res.Stats.Detected {
+		t.Errorf("test set detects %d faults, engine claimed %d", cov.Detected, res.Stats.Detected)
+	}
+}
+
+// TestRedundantClassificationSound: plant a genuinely redundant fault
+// (stuck-at on a line that can never affect outputs) and check the
+// engine proves it.
+func TestRedundantClassificationSound(t *testing.T) {
+	// out = AND(in, in') is constant 0; the AND output s-a-0 is
+	// undetectable. Build: n = NOT(in); a = AND(in, n); o = OR(a, b).
+	c := netlist.New("red")
+	reset := c.AddGate(netlist.Input, "reset")
+	c.ResetPI = reset
+	in := c.AddGate(netlist.Input, "in")
+	n := c.AddGate(netlist.Not, "n", in)
+	a := c.AddGate(netlist.And, "a", in, n)
+	b := c.AddGate(netlist.Input, "b")
+	o := c.AddGate(netlist.Or, "o", a, b)
+	c.AddGate(netlist.Output, "out", o)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(c, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunFaults([]fault.Fault{{Gate: a, Pin: -1, SA: sim.V0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Redundant != 1 {
+		t.Errorf("redundant AND s-a-0 not proven: %+v", res.Stats)
+	}
+
+	// And the complementary, detectable fault must be detected.
+	e2, _ := New(c, defaultCfg())
+	res2, err := e2.RunFaults([]fault.Fault{{Gate: a, Pin: -1, SA: sim.V1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Detected != 1 {
+		t.Errorf("detectable AND s-a-1 not detected: %+v", res2.Stats)
+	}
+}
+
+// TestJustificationRequired: a fault whose excitation needs a non-reset
+// state forces backward justification through the state space.
+func TestStatesTraversedRecorded(t *testing.T) {
+	c := synthC(t, 9, 12)
+	e, err := New(c, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.StatesTraversed) < 2 {
+		t.Errorf("expected multiple traversed states, got %d", len(res.Stats.StatesTraversed))
+	}
+}
+
+func TestBudgetAbortsFaults(t *testing.T) {
+	c := synthC(t, 9, 3)
+	cfg := defaultCfg()
+	cfg.FaultBudget = 2_000 // starvation
+	e, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Aborted == 0 {
+		t.Error("starved engine should abort faults")
+	}
+}
+
+func TestTotalBudgetStopsRun(t *testing.T) {
+	c := synthC(t, 9, 3)
+	cfg := defaultCfg()
+	cfg.TotalBudget = 50_000
+	e, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Aborted == 0 {
+		t.Error("total budget should abort remaining faults")
+	}
+	if res.Stats.Effort > 10*cfg.TotalBudget {
+		t.Errorf("effort %d wildly exceeds total budget %d", res.Stats.Effort, cfg.TotalBudget)
+	}
+}
+
+func TestLearningEngineStillCovers(t *testing.T) {
+	c := synthC(t, 7, 5)
+	cfg := defaultCfg()
+	cfg.Learning = true
+	e, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FE() < 95 {
+		t.Errorf("learning engine FE %.1f%% too low", res.Stats.FE())
+	}
+}
+
+func TestRandomPhaseDetects(t *testing.T) {
+	c := synthC(t, 7, 5)
+	cfg := defaultCfg()
+	cfg.RandomSequences = 16
+	cfg.RandomLength = 24
+	cfg.Seed = 42
+	e, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FE() < 90 {
+		t.Errorf("random+deterministic FE %.1f%% too low", res.Stats.FE())
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	cube := []sim.Val{sim.V1, sim.VX, sim.V0}
+	if !compatible(cube, []sim.Val{sim.V1, sim.V0, sim.V0}) {
+		t.Error("matching state rejected")
+	}
+	if compatible(cube, []sim.Val{sim.V0, sim.V0, sim.V0}) {
+		t.Error("mismatching state accepted")
+	}
+	if compatible(cube, []sim.Val{sim.V1, sim.V0, sim.VX}) {
+		t.Error("unknown state bit must not satisfy a specified cube bit")
+	}
+}
+
+func TestCubeKeyAndFullySpecified(t *testing.T) {
+	cube := []sim.Val{sim.V1, sim.V0, sim.VX}
+	if cubeKey(cube) != "10X" {
+		t.Errorf("cubeKey = %q", cubeKey(cube))
+	}
+	if _, full := fullySpecified(cube); full {
+		t.Error("cube with X reported fully specified")
+	}
+	bits, full := fullySpecified([]sim.Val{sim.V1, sim.V0, sim.V1})
+	if !full || bits != 0b101 {
+		t.Errorf("fullySpecified = %b,%v", bits, full)
+	}
+}

@@ -1,0 +1,32 @@
+// Package attest configures the shared ATPG core in the style of the
+// Attest TDX tool as used in the reproduced paper: a simulation-
+// enhanced generator with a substantial random-pattern preprocessing
+// phase followed by a deterministic pass with tighter abort limits.
+// The paper uses Attest only to confirm that the retiming effect is not
+// an artifact of one engine's heuristics; the same role is played here.
+package attest
+
+import (
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/netlist"
+)
+
+// DefaultConfig returns the Attest-style configuration.
+func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
+	return atpg.Config{
+		Name:            "attest",
+		MaxFrames:       6,
+		MaxBackSteps:    24,
+		BacktrackLimit:  800,
+		FaultBudget:     faultBudget,
+		FlushCycles:     flushCycles,
+		RandomSequences: 10,
+		RandomLength:    20,
+		Seed:            1995,
+	}
+}
+
+// New builds an Attest-style engine for the circuit.
+func New(c *netlist.Circuit, flushCycles int, faultBudget int64) (*atpg.Engine, error) {
+	return atpg.New(c, DefaultConfig(flushCycles, faultBudget))
+}

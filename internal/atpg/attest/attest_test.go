@@ -1,0 +1,19 @@
+package attest
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(2, 500_000)
+	if cfg.Name != "attest" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if cfg.RandomSequences == 0 || cfg.RandomLength == 0 {
+		t.Error("Attest preset must include a random preprocessing phase")
+	}
+	if cfg.Learning {
+		t.Error("Attest preset must not enable learning")
+	}
+	if cfg.FlushCycles != 2 || cfg.FaultBudget != 500_000 {
+		t.Error("parameters not threaded through")
+	}
+}

@@ -1,0 +1,70 @@
+package atpg
+
+import (
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+	"seqatpg/internal/synth"
+)
+
+func synthForBench(b *testing.B) *netlist.Circuit {
+	b.Helper()
+	m, err := fsm.Generate(fsm.GenSpec{Name: "bench", Inputs: 4, Outputs: 3, States: 12, Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.Combined, Script: synth.Rugged, UseUnreachableDC: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.Circuit
+}
+
+// BenchmarkWindowSimulate measures the iterative-array evaluation that
+// dominates ATPG runtime: an 8-frame window over a mid-size circuit
+// with an excited fault (so every frame is evaluated).
+func BenchmarkWindowSimulate(b *testing.B) {
+	c := synthForBench(b)
+	order, err := c.TopoOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fault.Fault{Gate: c.DFFs[0], Pin: -1, SA: sim.V1}
+	w := newWindow(c, order, 8, f)
+	// Assign every PI of frame 0 so the excitation check passes and all
+	// frames evaluate.
+	for i := range w.piVals[0] {
+		w.piVals[0][i] = sim.V0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.simulate()
+	}
+	b.ReportMetric(float64(8*len(order)), "gate-frames/op")
+}
+
+// BenchmarkGeneratePerFault measures end-to-end per-fault generation on
+// a small control circuit (20 collapsed faults per iteration).
+func BenchmarkGeneratePerFault(b *testing.B) {
+	c := synthForBench(b)
+	faults := fault.CollapsedUniverse(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(c, Config{
+			MaxFrames: 6, MaxBackSteps: 24, BacktrackLimit: 1000,
+			FaultBudget: 400_000, FlushCycles: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.RunFaults(faults[:20]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

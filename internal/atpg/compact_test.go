@@ -1,0 +1,70 @@
+package atpg
+
+import (
+	"testing"
+
+	"seqatpg/internal/fault"
+)
+
+// TestCompactTestsPreservesCoverage: the compacted set must detect
+// exactly the faults the full set detects, with no more sequences.
+func TestCompactTestsPreservesCoverage(t *testing.T) {
+	c := synthC(t, 9, 12)
+	e, err := New(c, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(c)
+	fs, err := fault.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]bool, len(faults))
+	for _, seq := range res.Tests {
+		det, err := fs.Detects(seq, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range det {
+			full[i] = full[i] || d
+		}
+	}
+	compacted, err := CompactTests(c, res.Tests, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compacted) > len(res.Tests) {
+		t.Fatalf("compaction grew the set: %d -> %d", len(res.Tests), len(compacted))
+	}
+	comp := make([]bool, len(faults))
+	for _, seq := range compacted {
+		det, err := fs.Detects(seq, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range det {
+			comp[i] = comp[i] || d
+		}
+	}
+	for i := range faults {
+		if full[i] != comp[i] {
+			t.Fatalf("fault %v: full=%v compacted=%v", faults[i], full[i], comp[i])
+		}
+	}
+	t.Logf("compaction: %d -> %d sequences", len(res.Tests), len(compacted))
+}
+
+func TestCompactTestsEmpty(t *testing.T) {
+	c := synthC(t, 7, 5)
+	out, err := CompactTests(c, nil, fault.CollapsedUniverse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Error("empty input must return nil")
+	}
+}

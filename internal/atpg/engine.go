@@ -1,0 +1,636 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// Config tunes an engine run. The three paper engines are presets over
+// this structure (see the hitec, attest and sest sub-packages).
+type Config struct {
+	Name string
+	// MaxFrames caps the forward time-frame window for propagation.
+	MaxFrames int
+	// MaxBackSteps caps the backward state-justification depth.
+	MaxBackSteps int
+	// BacktrackLimit caps PODEM backtracks per search.
+	BacktrackLimit int
+	// FaultBudget is the effort (in gate-evaluations) each fault may
+	// consume before being aborted.
+	FaultBudget int64
+	// TotalBudget bounds the whole run; 0 means unlimited. When it runs
+	// out the remaining faults are aborted.
+	TotalBudget int64
+	// RandomSequences/RandomLength configure the random preprocessing
+	// phase (Attest-style); zero disables it.
+	RandomSequences int
+	RandomLength    int
+	// Learning enables SEST-style search-state learning: proven-
+	// unjustifiable state cubes are cached and pruned, and justified
+	// states are reused.
+	Learning bool
+	// RelaxedJustify retries a failed state justification on the good
+	// machine alone (ignoring the fault's effect on the setup path).
+	// This recovers testable faults that the strict composite-machine
+	// justification rejects; it is sound because every candidate test
+	// is still confirmed by fault simulation before being accepted,
+	// but it can spend extra effort on candidates that fail
+	// confirmation.
+	RelaxedJustify bool
+	// FlushCycles is how long the reset line is held to initialize the
+	// machine (1 for non-retimed circuits; retimed circuits need their
+	// flush prefix). Values < 1 are coerced to 1.
+	FlushCycles int
+	Seed        int64
+}
+
+// Stats aggregates the run counters the experiments report.
+type Stats struct {
+	Total       int
+	Detected    int
+	Redundant   int
+	Aborted     int
+	Unconfirmed int
+	Effort      int64 // deterministic CPU proxy: gate-frame evaluations
+	Backtracks  int64
+	// LearnHits/LearnPrunes count reuses of justified states and prunes
+	// via proven-unjustifiable cubes (SEST-style engines only).
+	LearnHits   int64
+	LearnPrunes int64
+	// StatesTraversed is the set of fully specified states the
+	// generator visited: the good-circuit states of every applied
+	// sequence (the paper's "#states HITEC trav" instrument).
+	StatesTraversed map[uint64]bool
+}
+
+// FC returns fault coverage (% detected).
+func (s Stats) FC() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected) / float64(s.Total)
+}
+
+// FE returns fault efficiency (% detected or proven redundant).
+func (s Stats) FE() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected+s.Redundant) / float64(s.Total)
+}
+
+// Result is the outcome of a run: the generated tests, the per-fault
+// outcomes (parallel to the fault list given to RunFaults), and the
+// aggregate counters.
+type Result struct {
+	Tests    [][][]sim.Val // one sequence per accepted test (flush prefix included)
+	Outcomes []Outcome     // parallel to the fault list
+	Stats    Stats
+}
+
+// Engine is one ATPG run over one circuit.
+type Engine struct {
+	c     *netlist.Circuit
+	cfg   Config
+	order []int
+	scoap *scoap
+	// obsDist approximates per-gate distance to a primary output.
+	obsDist []int
+
+	fsim        *fault.Simulator
+	flushPrefix [][]sim.Val
+	resetState  []sim.Val
+
+	remaining    int64 // per-fault budget remaining
+	totalLeft    int64
+	outOfBudget  bool
+	failedCubes  map[string]bool
+	achieved     map[string][][]sim.Val // fault-scoped concrete state -> vectors from reset
+	achievedKeys []achievedKey          // deterministic iteration order
+
+	Stats Stats
+}
+
+// New builds an engine; the circuit must be valid and have a reset line.
+func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
+	if c.ResetPI < 0 {
+		return nil, fmt.Errorf("atpg: circuit %s has no reset line", c.Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxFrames < 1 {
+		cfg.MaxFrames = 8
+	}
+	if cfg.MaxBackSteps < 1 {
+		cfg.MaxBackSteps = 30
+	}
+	if cfg.FlushCycles < 1 {
+		cfg.FlushCycles = 1
+	}
+	e := &Engine{
+		c:           c,
+		cfg:         cfg,
+		order:       order,
+		scoap:       computeSCOAP(c),
+		obsDist:     computeObsDist(c),
+		failedCubes: map[string]bool{},
+		achieved:    map[string][][]sim.Val{},
+	}
+	e.Stats.StatesTraversed = map[uint64]bool{}
+	e.fsim, err = fault.NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.computeFlush(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// computeObsDist is a reverse BFS from the primary outputs.
+func computeObsDist(c *netlist.Circuit) []int {
+	const inf = 1 << 20
+	dist := make([]int, len(c.Gates))
+	for i := range dist {
+		dist[i] = inf
+	}
+	var queue []int
+	for _, id := range c.POs {
+		dist[id] = 0
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, f := range c.Gates[id].Fanin {
+			if dist[f] > dist[id]+1 {
+				dist[f] = dist[id] + 1
+				queue = append(queue, f)
+			}
+		}
+	}
+	return dist
+}
+
+// computeFlush derives the reset-hold prefix and the post-flush state.
+func (e *Engine) computeFlush() error {
+	s, err := sim.NewSimulator(e.c)
+	if err != nil {
+		return err
+	}
+	s.PowerUp()
+	vec := make([]sim.Val, len(e.c.PIs))
+	for i, id := range e.c.PIs {
+		if id == e.c.ResetPI {
+			vec[i] = sim.V1
+		} else {
+			vec[i] = sim.V0
+		}
+	}
+	e.flushPrefix = nil
+	for k := 0; k < e.cfg.FlushCycles; k++ {
+		if _, err := s.Step(vec); err != nil {
+			return err
+		}
+		e.flushPrefix = append(e.flushPrefix, append([]sim.Val(nil), vec...))
+	}
+	e.resetState = s.State()
+	return nil
+}
+
+// charge burns effort; false means a budget ran out.
+func (e *Engine) charge(frames int64) bool {
+	cost := frames * int64(len(e.order))
+	e.Stats.Effort += cost
+	e.remaining -= cost
+	if e.cfg.TotalBudget > 0 {
+		e.totalLeft -= cost
+		if e.totalLeft <= 0 {
+			e.outOfBudget = true
+			return false
+		}
+	}
+	return e.remaining > 0
+}
+
+// Run generates tests for the whole collapsed fault universe.
+func (e *Engine) Run() (*Result, error) {
+	faults := fault.CollapsedUniverse(e.c)
+	return e.RunFaults(faults)
+}
+
+// RunFaults generates tests for the given fault list.
+func (e *Engine) RunFaults(faults []fault.Fault) (*Result, error) {
+	res := &Result{Outcomes: make([]Outcome, len(faults))}
+	e.Stats.Total = len(faults)
+	e.totalLeft = e.cfg.TotalBudget
+	status := make([]byte, len(faults)) // 0 live, 1 detected, 2 redundant, 3 aborted
+
+	dropDetected := func(seq [][]sim.Val) error {
+		var live []fault.Fault
+		var liveIdx []int
+		for i, f := range faults {
+			if status[i] == 0 {
+				live = append(live, f)
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		det, err := e.fsim.Detects(seq, live)
+		if err != nil {
+			return err
+		}
+		// Fault simulation cost: one pass per 63 faults.
+		passes := int64(len(live)/63 + 1)
+		e.charge(passes * int64(len(seq)))
+		for k, d := range det {
+			if d {
+				status[liveIdx[k]] = 1
+				e.Stats.Detected++
+			}
+		}
+		return nil
+	}
+
+	recordStates := func(seq [][]sim.Val) {
+		states, err := fault.StateTrace(e.c, seq)
+		if err != nil {
+			return
+		}
+		for st := range states {
+			e.Stats.StatesTraversed[st] = true
+		}
+	}
+
+	// Random preprocessing phase (Attest-style).
+	if e.cfg.RandomSequences > 0 {
+		rng := rand.New(rand.NewSource(e.cfg.Seed + 17))
+		resetIdx := e.piIndexOfReset()
+		for s := 0; s < e.cfg.RandomSequences; s++ {
+			seq := append([][]sim.Val{}, e.flushPrefix...)
+			for v := 0; v < e.cfg.RandomLength; v++ {
+				vec := make([]sim.Val, len(e.c.PIs))
+				for i := range vec {
+					vec[i] = sim.Val(rng.Intn(2))
+				}
+				vec[resetIdx] = sim.V0
+				if rng.Intn(16) == 0 {
+					vec[resetIdx] = sim.V1
+				}
+				seq = append(seq, vec)
+			}
+			before := e.Stats.Detected
+			if err := dropDetected(seq); err != nil {
+				return nil, err
+			}
+			if e.Stats.Detected > before {
+				res.Tests = append(res.Tests, seq)
+				recordStates(seq)
+			}
+			if e.outOfBudget {
+				break
+			}
+		}
+	}
+
+	// Deterministic phase.
+	for i := range faults {
+		if status[i] != 0 {
+			continue
+		}
+		if e.outOfBudget {
+			status[i] = 3
+			e.Stats.Aborted++
+			continue
+		}
+		e.remaining = e.cfg.FaultBudget
+		outcome, seq := e.generate(&faults[i])
+		switch outcome {
+		case Detected:
+			status[i] = 1
+			e.Stats.Detected++
+			res.Tests = append(res.Tests, seq)
+			recordStates(seq)
+			// Drop everything else this sequence catches (this fault is
+			// already marked, so it is not double counted).
+			if err := dropDetected(seq); err != nil {
+				return nil, err
+			}
+		case Redundant:
+			status[i] = 2
+			e.Stats.Redundant++
+		default:
+			status[i] = 3
+			e.Stats.Aborted++
+		}
+	}
+	for i, st := range status {
+		switch st {
+		case 1:
+			res.Outcomes[i] = Detected
+		case 2:
+			res.Outcomes[i] = Redundant
+		default:
+			res.Outcomes[i] = Aborted
+		}
+	}
+	res.Stats = e.Stats
+	return res, nil
+}
+
+func (e *Engine) piIndexOfReset() int {
+	for i, id := range e.c.PIs {
+		if id == e.c.ResetPI {
+			return i
+		}
+	}
+	return -1
+}
+
+// Outcome classifies the result of test generation for one fault.
+type Outcome int
+
+// Per-fault outcomes.
+const (
+	// Aborted: the budget, backtrack limit or window cap ran out first.
+	Aborted Outcome = iota
+	// Detected: a confirmed test sequence was generated (or a test for
+	// another fault covered it during fault dropping).
+	Detected
+	// Redundant: proven untestable in any sequential context.
+	Redundant
+)
+
+// String returns "aborted", "detected" or "redundant".
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	default:
+		return "aborted"
+	}
+}
+
+// generate runs the per-fault flow: redundancy pre-pass, then detection
+// over growing windows with backward justification of the required
+// excitation state.
+func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
+	// Sound redundancy pre-pass: one frame, free state, observing both
+	// POs and next-state lines. Exhaustion without a solution means the
+	// fault is untestable in any sequential context. The pre-pass gets
+	// a small backtrack allowance: genuinely redundant faults exhaust
+	// their decision tree quickly; everything else proceeds to the real
+	// search.
+	w := newWindow(e.c, e.order, 1, f)
+	pre := &detectProblem{e: e, extendedObs: true}
+	preLimit := 256
+	if e.cfg.BacktrackLimit > 0 && e.cfg.BacktrackLimit < preLimit {
+		preLimit = e.cfg.BacktrackLimit
+	}
+	outcome := e.podem(w, pre, preLimit, func() bool { return true })
+	if outcome == searchExhausted {
+		return Redundant, nil
+	}
+
+	// The composite (good ∥ faulty) machine's post-flush state: the
+	// justification terminal. Both machines see the same reset-hold
+	// prefix; bits where they disagree or stay unknown cannot serve as
+	// justification anchors.
+	faultyReset := e.faultyFlushState(f)
+	var goodReset []V5
+	if e.cfg.RelaxedJustify {
+		goodReset = make([]V5, len(e.resetState))
+		for i, v := range e.resetState {
+			goodReset[i] = vBoth(v)
+		}
+	}
+
+	for k := 1; k <= e.cfg.MaxFrames; k++ {
+		w := newWindow(e.c, e.order, k, f)
+		prob := &detectProblem{e: e}
+		var final [][]sim.Val
+		out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
+			cube := w.stateCube()
+			prefix, ok := e.justify(f, faultyReset, cube, e.cfg.MaxBackSteps, map[string]bool{})
+			if !ok && e.cfg.RelaxedJustify {
+				// Second chance on the good machine alone; the fault
+				// simulation below rejects any sequence the fault's
+				// presence invalidates.
+				prefix, ok = e.justify(nil, goodReset, cube, e.cfg.MaxBackSteps, map[string]bool{})
+			}
+			if !ok {
+				return false // enumerate another excitation/propagation
+			}
+			seq := append([][]sim.Val{}, e.flushPrefix...)
+			seq = append(seq, prefix...)
+			seq = append(seq, w.vectors()...)
+			// Confirm with the fault simulator before accepting.
+			det, err := e.fsim.Detects(seq, []fault.Fault{*f})
+			if err != nil || !det[0] {
+				e.Stats.Unconfirmed++
+				return false
+			}
+			final = seq
+			return true
+		})
+		switch out {
+		case searchStopped:
+			return Detected, final
+		case searchAborted:
+			return Aborted, nil
+		}
+		// Exhausted: effect may need more frames to reach an output.
+	}
+	return Aborted, nil
+}
+
+// cubeKey renders a state cube canonically.
+func cubeKey(cube []sim.Val) string {
+	b := make([]byte, len(cube))
+	for i, v := range cube {
+		b[i] = "01X"[v]
+	}
+	return string(b)
+}
+
+// compatible reports whether the concrete (possibly partially unknown)
+// reset state satisfies the cube: every specified cube bit must be a
+// known, equal bit of the state.
+func compatible(cube, state []sim.Val) bool {
+	for i, v := range cube {
+		if v == sim.VX {
+			continue
+		}
+		if state[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fullySpecified reports whether the cube pins every state bit.
+func fullySpecified(cube []sim.Val) (uint64, bool) {
+	var bits uint64
+	for i, v := range cube {
+		switch v {
+		case sim.VX:
+			return 0, false
+		case sim.V1:
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits, true
+}
+
+// faultyFlushState applies the reset-hold prefix to the composite
+// machine (good ∥ faulty) from all-X and returns the per-DFF composite
+// state. Justification anchors only on bits where both rails agree.
+func (e *Engine) faultyFlushState(f *fault.Fault) []V5 {
+	k := len(e.flushPrefix)
+	w := newWindow(e.c, e.order, k, f)
+	for t, vec := range e.flushPrefix {
+		copy(w.piVals[t], vec)
+	}
+	w.simulate()
+	e.charge(int64(k))
+	out := make([]V5, len(e.c.DFFs))
+	for i, id := range e.c.DFFs {
+		out[i] = w.faninValAt(k-1, id, 0)
+	}
+	return out
+}
+
+// compatible5 reports whether the composite state satisfies the cube on
+// both rails.
+func compatible5(cube []sim.Val, state []V5) bool {
+	for i, v := range cube {
+		if v == sim.VX {
+			continue
+		}
+		if state[i].G != v || state[i].F != v {
+			return false
+		}
+	}
+	return true
+}
+
+// justify searches backward for an input sequence that drives the
+// composite machine (the circuit under the target fault) from the
+// post-reset state into the cube. Returns the vectors in forward
+// application order, reset prefix NOT included. Learning caches are
+// keyed per fault: a cube justifiable in the good machine need not be
+// justifiable under a different fault.
+func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth int, onPath map[string]bool) ([][]sim.Val, bool) {
+	if compatible5(cube, faultyReset) {
+		return nil, true
+	}
+	fkey := ""
+	if f != nil {
+		fkey = f.String() + "|"
+	}
+	if bits, ok := fullySpecified(cube); ok {
+		// Learning: a state we already know how to reach (under this
+		// fault).
+		if e.cfg.Learning {
+			if vecs, ok := e.achieved[fkey+fmt.Sprint(bits)]; ok {
+				e.Stats.LearnHits++
+				return vecs, true
+			}
+		}
+	}
+	if depth == 0 {
+		return nil, false
+	}
+	key := cubeKey(cube)
+	if onPath[key] {
+		return nil, false // cycle in the justification path
+	}
+	if e.cfg.Learning && e.failedCubes[fkey+key] {
+		e.Stats.LearnPrunes++
+		return nil, false
+	}
+	// Learning: reuse any achieved concrete state compatible with the
+	// cube.
+	if e.cfg.Learning {
+		for _, st := range e.achievedKeys {
+			if st.fault != fkey {
+				continue
+			}
+			stVals := unpackState(st.bits, len(cube))
+			if compatible(cube, stVals) {
+				e.Stats.LearnHits++
+				return e.achieved[fkey+fmt.Sprint(st.bits)], true
+			}
+		}
+	}
+	onPath[key] = true
+	defer delete(onPath, key)
+
+	targets := make([]targetLine, 0, len(cube))
+	for i, v := range cube {
+		if v == sim.VX {
+			continue
+		}
+		dff := e.c.DFFs[i]
+		targets = append(targets, targetLine{gate: e.c.Gates[dff].Fanin[0], dff: dff, val: v})
+	}
+	w := newWindow(e.c, e.order, 1, f)
+	prob := &justifyProblem{targets: targets}
+	var result [][]sim.Val
+	out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
+		prev := w.stateCube()
+		vec := w.vectors()[0]
+		sub, ok := e.justify(f, faultyReset, prev, depth-1, onPath)
+		if !ok {
+			return false
+		}
+		result = append(append([][]sim.Val{}, sub...), vec)
+		// Learning: remember how to reach this cube's concrete states.
+		if e.cfg.Learning {
+			if bits, full := fullySpecified(cube); full {
+				k := fkey + fmt.Sprint(bits)
+				if _, seen := e.achieved[k]; !seen {
+					e.achieved[k] = result
+					e.achievedKeys = append(e.achievedKeys, achievedKey{fault: fkey, bits: bits})
+				}
+			}
+		}
+		return true
+	})
+	if out == searchStopped {
+		return result, true
+	}
+	if out == searchExhausted && e.cfg.Learning {
+		e.failedCubes[fkey+key] = true
+	}
+	return nil, false
+}
+
+// achievedKey identifies a learned, reachable concrete state under a
+// specific fault context.
+type achievedKey struct {
+	fault string
+	bits  uint64
+}
+
+func unpackState(bits uint64, n int) []sim.Val {
+	out := make([]sim.Val, n)
+	for i := 0; i < n; i++ {
+		if (bits>>uint(i))&1 == 1 {
+			out[i] = sim.V1
+		} else {
+			out[i] = sim.V0
+		}
+	}
+	return out
+}

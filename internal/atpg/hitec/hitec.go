@@ -1,0 +1,32 @@
+// Package hitec configures the shared structural sequential ATPG core
+// in the style of HITEC (Niermann & Patel, EDAC 1991): a purely
+// deterministic engine with testability-guided backtrace, deep forward
+// time-frame windows, deep backward state justification, and generous
+// backtrack budgets. It is the primary engine of the reproduced study.
+package hitec
+
+import (
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/netlist"
+)
+
+// DefaultConfig returns the HITEC-style configuration. flushCycles is
+// the reset-hold prefix length of the circuit (1 for non-retimed
+// circuits). faultBudget is the per-fault effort allowance in
+// gate-frame evaluations; the experiment harness scales it to model the
+// paper's CPU-time limits.
+func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
+	return atpg.Config{
+		Name:           "hitec",
+		MaxFrames:      8,
+		MaxBackSteps:   40,
+		BacktrackLimit: 4000,
+		FaultBudget:    faultBudget,
+		FlushCycles:    flushCycles,
+	}
+}
+
+// New builds a HITEC-style engine for the circuit.
+func New(c *netlist.Circuit, flushCycles int, faultBudget int64) (*atpg.Engine, error) {
+	return atpg.New(c, DefaultConfig(flushCycles, faultBudget))
+}

@@ -1,0 +1,53 @@
+package hitec
+
+import (
+	"testing"
+
+	"seqatpg/internal/netlist"
+)
+
+func tiny(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("t")
+	reset := c.AddGate(netlist.Input, "reset")
+	c.ResetPI = reset
+	in := c.AddGate(netlist.Input, "in")
+	nr := c.AddGate(netlist.Not, "nr", reset)
+	a := c.AddGate(netlist.And, "a", in, nr)
+	ff := c.AddGate(netlist.DFF, "q", a)
+	c.AddGate(netlist.Output, "o", ff)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(3, 1_000_000)
+	if cfg.Name != "hitec" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if cfg.FlushCycles != 3 || cfg.FaultBudget != 1_000_000 {
+		t.Error("parameters not threaded through")
+	}
+	if cfg.Learning || cfg.RandomSequences != 0 {
+		t.Error("HITEC preset must be purely deterministic without learning")
+	}
+	if cfg.MaxFrames < 4 || cfg.BacktrackLimit < 1000 {
+		t.Error("HITEC preset should have deep windows and generous backtracks")
+	}
+}
+
+func TestNewRunsEndToEnd(t *testing.T) {
+	e, err := New(tiny(t), 1, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FE() < 99 {
+		t.Errorf("tiny circuit FE = %.1f", res.Stats.FE())
+	}
+}

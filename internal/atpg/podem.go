@@ -1,0 +1,261 @@
+package atpg
+
+import (
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// pseudoInput identifies a decision variable of the window: a primary
+// input of some frame, or a frame-0 state bit.
+type pseudoInput struct {
+	isState bool
+	frame   int // PI frame (0 for state bits)
+	index   int // PI position or state bit position
+}
+
+// objective is a desired good value on a line of some frame.
+type objective struct {
+	frame int
+	gate  int
+	val   sim.Val
+}
+
+// problem abstracts what the PODEM search is trying to do — fault
+// detection or state justification.
+type problem interface {
+	// fail reports that the current partial assignment can never lead
+	// to success (binary contradictions only — must be monotone).
+	fail(w *window) bool
+	// success reports the goal is met.
+	success(w *window) bool
+	// objective proposes the next line to set. ok=false with no success
+	// means the search is stuck (treated as a dead end).
+	objective(w *window) (objective, bool)
+}
+
+// searchOutcome summarizes a PODEM run.
+type searchOutcome int
+
+const (
+	// searchExhausted: the full decision tree was explored; no (more)
+	// solutions exist.
+	searchExhausted searchOutcome = iota
+	// searchStopped: onSolution told us to stop (a solution was
+	// accepted).
+	searchStopped
+	// searchAborted: the backtrack or effort budget ran out.
+	searchAborted
+)
+
+type decision struct {
+	pin       pseudoInput
+	val       sim.Val
+	triedBoth bool
+}
+
+// podem runs the decision search. Every time the problem reports
+// success, onSolution is consulted: returning true accepts the solution
+// and stops; returning false rejects it and the search continues
+// enumerating (the mechanism the justification recursion uses to try
+// alternative predecessor states). The engine's budget is charged per
+// simulation.
+func (e *Engine) podem(w *window, prob problem, backtrackLimit int, onSolution func() bool) searchOutcome {
+	var stack []decision
+	backtracks := 0
+
+	assign := func(pin pseudoInput, v sim.Val) {
+		if pin.isState {
+			w.stateVals[pin.index] = v
+		} else {
+			w.piVals[pin.frame][pin.index] = v
+		}
+	}
+	unassign := func(pin pseudoInput) { assign(pin, sim.VX) }
+
+	simulate := func() bool {
+		frames := w.simulate()
+		return e.charge(int64(frames))
+	}
+
+	// backtrack pops/flips decisions; returns false when the tree is
+	// exhausted.
+	backtrack := func() (bool, bool) { // (keepGoing, abort)
+		backtracks++
+		e.Stats.Backtracks++
+		if backtrackLimit > 0 && backtracks > backtrackLimit {
+			return false, true
+		}
+		for len(stack) > 0 {
+			d := &stack[len(stack)-1]
+			if !d.triedBoth {
+				d.triedBoth = true
+				if d.val == sim.V0 {
+					d.val = sim.V1
+				} else {
+					d.val = sim.V0
+				}
+				assign(d.pin, d.val)
+				return true, false
+			}
+			unassign(d.pin)
+			stack = stack[:len(stack)-1]
+		}
+		return false, false
+	}
+
+	if !simulate() {
+		return searchAborted
+	}
+	for {
+		switch {
+		case prob.fail(w):
+			keep, abort := backtrack()
+			if abort {
+				return searchAborted
+			}
+			if !keep {
+				return searchExhausted
+			}
+			if !simulate() {
+				return searchAborted
+			}
+		case prob.success(w):
+			if onSolution() {
+				return searchStopped
+			}
+			// Rejected: continue enumerating as if this were a dead end.
+			keep, abort := backtrack()
+			if abort {
+				return searchAborted
+			}
+			if !keep {
+				return searchExhausted
+			}
+			if !simulate() {
+				return searchAborted
+			}
+		default:
+			obj, ok := prob.objective(w)
+			var pin pseudoInput
+			var v sim.Val
+			if ok {
+				pin, v, ok = e.backtrace(w, obj)
+			}
+			if !ok {
+				keep, abort := backtrack()
+				if abort {
+					return searchAborted
+				}
+				if !keep {
+					return searchExhausted
+				}
+				if !simulate() {
+					return searchAborted
+				}
+				continue
+			}
+			stack = append(stack, decision{pin: pin, val: v})
+			assign(pin, v)
+			if !simulate() {
+				return searchAborted
+			}
+		}
+	}
+}
+
+// backtrace maps an objective to an unassigned pseudo-input and a value,
+// walking backward through the good-value circuit. ok=false when no
+// X path exists from the objective to an assignable input.
+func (e *Engine) backtrace(w *window, obj objective) (pseudoInput, sim.Val, bool) {
+	frame, id, want := obj.frame, obj.gate, obj.val
+	for hops := 0; hops < 10000; hops++ {
+		g := w.c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			idx := w.piIdx[id]
+			if w.piVals[frame][idx] != sim.VX {
+				return pseudoInput{}, 0, false // already assigned; conflict upstream
+			}
+			return pseudoInput{frame: frame, index: idx}, want, true
+		case netlist.DFF:
+			if frame == 0 {
+				idx := w.dffIdx[id]
+				if w.stateVals[idx] != sim.VX {
+					return pseudoInput{}, 0, false
+				}
+				return pseudoInput{isState: true, index: idx}, want, true
+			}
+			frame--
+			id = g.Fanin[0]
+		case netlist.Const0, netlist.Const1, netlist.Output:
+			if g.Type == netlist.Output {
+				id = g.Fanin[0]
+				continue
+			}
+			return pseudoInput{}, 0, false // constants cannot be set
+		case netlist.Buf:
+			id = g.Fanin[0]
+		case netlist.Not:
+			id = g.Fanin[0]
+			want = sim.NotV(want)
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			ctrl, inv, _ := controlling(g.Type)
+			need := want
+			if inv {
+				need = sim.NotV(need)
+			}
+			// need is the pre-inversion AND/OR level now.
+			wantCtrl := need == ctrl
+			best, bestCost := -1, int(^uint(0)>>1)
+			for pin := range g.Fanin {
+				f := g.Fanin[pin]
+				if w.vals[frame][f].G != sim.VX {
+					continue
+				}
+				cost := e.scoap.cost(f, ctrl == sim.V1)
+				if !wantCtrl {
+					cost = e.scoap.cost(f, ctrl != sim.V1)
+					// Hardest-first for the all-inputs case.
+					cost = -cost
+				}
+				if best < 0 || cost < bestCost {
+					best, bestCost = f, cost
+				}
+			}
+			if best < 0 {
+				return pseudoInput{}, 0, false
+			}
+			id = best
+			if wantCtrl {
+				want = ctrl
+			} else {
+				want = sim.NotV(ctrl)
+			}
+		case netlist.Xor, netlist.Xnor:
+			// Pick an X input; aim for the value that makes the output
+			// match given the other input (or 0 if both unknown).
+			a, b := g.Fanin[0], g.Fanin[1]
+			va, vb := w.vals[frame][a].G, w.vals[frame][b].G
+			need := want
+			if g.Type == netlist.Xnor {
+				need = sim.NotV(need)
+			}
+			switch {
+			case va == sim.VX && vb != sim.VX:
+				id = a
+				want = sim.XorV(need, vb)
+			case vb == sim.VX && va != sim.VX:
+				id = b
+				want = sim.XorV(need, va)
+			case va == sim.VX && vb == sim.VX:
+				id = a
+				want = need // pair with b=0 later
+			default:
+				return pseudoInput{}, 0, false
+			}
+		default:
+			return pseudoInput{}, 0, false
+		}
+	}
+	return pseudoInput{}, 0, false
+}

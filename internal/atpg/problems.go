@@ -1,0 +1,150 @@
+package atpg
+
+import "seqatpg/internal/sim"
+
+// detectProblem drives PODEM toward exciting the target fault in frame 0
+// and propagating the effect to a primary output of the window. With
+// extendedObs set, a fault effect reaching a last-frame next-state line
+// also counts as success — the exhaustive k=1 run with extended
+// observability is the sound redundancy test: a fault that can neither
+// be excited nor propagated to any output or state line under a free
+// state is untestable in every sequential context.
+type detectProblem struct {
+	e           *Engine
+	extendedObs bool
+}
+
+func (p *detectProblem) excited(w *window) sim.Val { return w.faultLineGood() }
+
+func (p *detectProblem) fail(w *window) bool {
+	lg := w.faultLineGood()
+	if lg != sim.VX && lg == w.flt.SA {
+		return true // excitation impossible under current assignments
+	}
+	if lg == sim.VX {
+		return false // still working on excitation
+	}
+	if w.detectedAtPO() {
+		return false
+	}
+	if p.extendedObs && w.dReachesLastState() {
+		return false
+	}
+	if len(w.dFrontier()) == 0 {
+		// Effect exists but cannot move anywhere in this window. When
+		// observing state lines too, an effect parked on them is
+		// success, checked above.
+		if p.extendedObs {
+			return !w.dReachesLastState()
+		}
+		return true
+	}
+	return false
+}
+
+func (p *detectProblem) success(w *window) bool {
+	lg := w.faultLineGood()
+	if lg == sim.VX || lg == w.flt.SA {
+		return false
+	}
+	if w.detectedAtPO() {
+		return true
+	}
+	return p.extendedObs && w.dReachesLastState()
+}
+
+func (p *detectProblem) objective(w *window) (objective, bool) {
+	lg := w.faultLineGood()
+	if lg == sim.VX {
+		gate, val := w.excitationObjective()
+		return objective{frame: 0, gate: gate, val: val}, true
+	}
+	frontier := w.dFrontier()
+	if len(frontier) == 0 {
+		return objective{}, false
+	}
+	// Choose the frontier gate closest to a primary output (static
+	// observability distance), earliest frame first on ties.
+	best := frontier[0]
+	bestDist := p.e.obsDist[best.id]
+	for _, f := range frontier[1:] {
+		if d := p.e.obsDist[f.id]; d < bestDist || (d == bestDist && f.t < best.t) {
+			best, bestDist = f, d
+		}
+	}
+	g := w.c.Gates[best.id]
+	ctrl, _, hasCtrl := controlling(g.Type)
+	for pin := range g.Fanin {
+		f := g.Fanin[pin]
+		if w.vals[best.t][f].G != sim.VX {
+			continue
+		}
+		want := sim.V0
+		if hasCtrl {
+			want = sim.NotV(ctrl)
+		}
+		return objective{frame: best.t, gate: f, val: want}, true
+	}
+	// Frontier gate with no X input: output X only through the fault
+	// rails; no classic objective — stuck.
+	return objective{}, false
+}
+
+// targetLine is one required next-state bit in a justification step.
+type targetLine struct {
+	gate int // the DFF's D driver
+	dff  int // the DFF gate id (for the D-pin branch fault check)
+	val  sim.Val
+}
+
+// justifyProblem drives PODEM to find a (previous state cube, input
+// vector) whose next state satisfies every target line. The window is a
+// single frame with the target fault injected: a test sequence is
+// applied to the faulty machine, so the required excitation state must
+// be established on both the good and the faulty rail (the composite
+// machine must arrive in the same state).
+type justifyProblem struct {
+	targets []targetLine
+}
+
+// lineVal returns the composite value captured by the DFF of target t,
+// including a possible branch fault on the D pin.
+func (p *justifyProblem) lineVal(w *window, t targetLine) V5 {
+	v := w.vals[0][t.gate]
+	if w.flt != nil && w.flt.Gate == t.dff && w.flt.Pin == 0 {
+		v.F = w.flt.SA
+	}
+	return v
+}
+
+func (p *justifyProblem) fail(w *window) bool {
+	for _, t := range p.targets {
+		v := p.lineVal(w, t)
+		if v.G != sim.VX && v.G != t.val {
+			return true
+		}
+		if v.F != sim.VX && v.F != t.val {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *justifyProblem) success(w *window) bool {
+	for _, t := range p.targets {
+		v := p.lineVal(w, t)
+		if v.G != t.val || v.F != t.val {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *justifyProblem) objective(w *window) (objective, bool) {
+	for _, t := range p.targets {
+		if p.lineVal(w, t).G == sim.VX {
+			return objective{frame: 0, gate: t.gate, val: t.val}, true
+		}
+	}
+	return objective{}, false
+}

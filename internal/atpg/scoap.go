@@ -1,0 +1,120 @@
+package atpg
+
+import "seqatpg/internal/netlist"
+
+// scoap holds SCOAP-style combinational controllability estimates used
+// to guide backtrace decisions: cc0[g]/cc1[g] approximate the effort to
+// set gate g to 0/1. Sequential elements contribute a fixed penalty, so
+// values deeper behind flip-flops look harder — the testability measure
+// HITEC-class generators use.
+type scoap struct {
+	cc0, cc1 []int
+}
+
+const (
+	seqPenalty = 20
+	ccCap      = 1 << 20
+)
+
+func computeSCOAP(c *netlist.Circuit) *scoap {
+	n := len(c.Gates)
+	s := &scoap{cc0: make([]int, n), cc1: make([]int, n)}
+	for i := range s.cc0 {
+		s.cc0[i] = ccCap
+		s.cc1[i] = ccCap
+	}
+	// Iterate to fixpoint over the cyclic graph (values only decrease).
+	order, _ := c.TopoOrder()
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for _, id := range order {
+			g := c.Gates[id]
+			var c0, c1 int
+			switch g.Type {
+			case netlist.Input:
+				c0, c1 = 1, 1
+			case netlist.Const0:
+				c0, c1 = 0, ccCap
+			case netlist.Const1:
+				c0, c1 = ccCap, 0
+			case netlist.DFF:
+				c0 = capAdd(s.cc0[g.Fanin[0]], seqPenalty)
+				c1 = capAdd(s.cc1[g.Fanin[0]], seqPenalty)
+			case netlist.Buf, netlist.Output:
+				c0 = capAdd(s.cc0[g.Fanin[0]], 1)
+				c1 = capAdd(s.cc1[g.Fanin[0]], 1)
+			case netlist.Not:
+				c0 = capAdd(s.cc1[g.Fanin[0]], 1)
+				c1 = capAdd(s.cc0[g.Fanin[0]], 1)
+			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+				ctrl, inv, _ := controlling(g.Type)
+				// Output at "controlled" level: cheapest single input at
+				// the controlling value. Output at the other level: all
+				// inputs at non-controlling values.
+				minCtrl, sumNon := ccCap, 1
+				for _, f := range g.Fanin {
+					cCtrl, cNon := s.cc0[f], s.cc1[f]
+					if ctrl != 0 { // controlling value is 1
+						cCtrl, cNon = s.cc1[f], s.cc0[f]
+					}
+					if cCtrl < minCtrl {
+						minCtrl = cCtrl
+					}
+					sumNon = capAdd(sumNon, cNon)
+				}
+				controlled := capAdd(minCtrl, 1)
+				if (ctrl == 0) != inv { // AND: controlled level is 0
+					c0, c1 = controlled, sumNon
+				} else {
+					c0, c1 = sumNon, controlled
+				}
+			case netlist.Xor, netlist.Xnor:
+				a, b := g.Fanin[0], g.Fanin[1]
+				even := minInt(capAdd(s.cc0[a], s.cc0[b]), capAdd(s.cc1[a], s.cc1[b]))
+				odd := minInt(capAdd(s.cc0[a], s.cc1[b]), capAdd(s.cc1[a], s.cc0[b]))
+				even = capAdd(even, 1)
+				odd = capAdd(odd, 1)
+				if g.Type == netlist.Xor {
+					c0, c1 = even, odd
+				} else {
+					c0, c1 = odd, even
+				}
+			}
+			if c0 < s.cc0[id] {
+				s.cc0[id] = c0
+				changed = true
+			}
+			if c1 < s.cc1[id] {
+				s.cc1[id] = c1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// cost returns the controllability estimate for setting gate g to v.
+func (s *scoap) cost(g int, v bool) int {
+	if v {
+		return s.cc1[g]
+	}
+	return s.cc0[g]
+}
+
+func capAdd(a, b int) int {
+	c := a + b
+	if c > ccCap {
+		return ccCap
+	}
+	return c
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

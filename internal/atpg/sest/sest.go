@@ -1,0 +1,31 @@
+// Package sest configures the shared ATPG core in the style of
+// Sequential EST (Chen & Bushnell): the HITEC-like deterministic flow
+// plus search-state learning — proven-unjustifiable state cubes are
+// cached and pruned on sight, and concrete states whose justification
+// sequences are known get reused. Learning speeds up repeat searches in
+// the invalid state space but, as the paper observes, cannot remove the
+// density-of-encoding penalty itself.
+package sest
+
+import (
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/netlist"
+)
+
+// DefaultConfig returns the SEST-style configuration.
+func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
+	return atpg.Config{
+		Name:           "sest",
+		MaxFrames:      8,
+		MaxBackSteps:   32,
+		BacktrackLimit: 2000,
+		FaultBudget:    faultBudget,
+		FlushCycles:    flushCycles,
+		Learning:       true,
+	}
+}
+
+// New builds a SEST-style engine for the circuit.
+func New(c *netlist.Circuit, flushCycles int, faultBudget int64) (*atpg.Engine, error) {
+	return atpg.New(c, DefaultConfig(flushCycles, faultBudget))
+}

@@ -1,0 +1,19 @@
+package sest
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(2, 500_000)
+	if cfg.Name != "sest" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if !cfg.Learning {
+		t.Error("SEST preset must enable search-state learning")
+	}
+	if cfg.RandomSequences != 0 {
+		t.Error("SEST preset is deterministic-only")
+	}
+	if cfg.FlushCycles != 2 || cfg.FaultBudget != 500_000 {
+		t.Error("parameters not threaded through")
+	}
+}

@@ -1,0 +1,84 @@
+// Package atpg implements structural sequential automatic test pattern
+// generation over the iterative array model: a 5-valued D-calculus
+// (good/faulty value pairs), time-frame-expanded PODEM for fault
+// excitation and propagation, backward-time state justification, and
+// the per-fault orchestration loop with fault dropping via the PROOFS-
+// style fault simulator. The engines of the reproduced paper are thin
+// configurations of this core: HITEC (testability-guided, high
+// budgets), Attest (random-phase plus deterministic), and SEST (adds
+// search-state learning).
+//
+// The package deliberately depends only on the netlist (and the fault
+// and simulation substrates) — never on the FSM or reachability
+// packages. Structural ATPG has no knowledge of the state transition
+// graph; that ignorance is the paper's core premise.
+package atpg
+
+import (
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// V5 is a composite logic value: the good-circuit rail and the
+// faulty-circuit rail, each three-valued. D is {G:1,F:0}; D-bar is
+// {G:0,F:1}.
+type V5 struct {
+	G, F sim.Val
+}
+
+// vx is the fully unknown composite value.
+func vx() V5 { return V5{sim.VX, sim.VX} }
+
+// vBoth returns the composite value with both rails at v.
+func vBoth(v sim.Val) V5 { return V5{v, v} }
+
+// isD reports a fully developed fault effect (both rails binary and
+// different).
+func (v V5) isD() bool {
+	return v.G != sim.VX && v.F != sim.VX && v.G != v.F
+}
+
+// known reports whether both rails are binary.
+func (v V5) known() bool { return v.G != sim.VX && v.F != sim.VX }
+
+// equalBoth reports both rails binary and equal.
+func (v V5) equalBoth() bool { return v.known() && v.G == v.F }
+
+// evalGate5 computes a gate's composite output from composite fanins by
+// evaluating each rail with the three-valued algebra.
+func evalGate5(t netlist.GateType, in []V5) V5 {
+	gs := make([]sim.Val, len(in))
+	fs := make([]sim.Val, len(in))
+	for i, v := range in {
+		gs[i] = v.G
+		fs[i] = v.F
+	}
+	return V5{sim.EvalGate(t, gs), sim.EvalGate(t, fs)}
+}
+
+// controlling returns the controlling input value and output inversion
+// for the gate type, and whether the type has a controlling value.
+func controlling(t netlist.GateType) (ctrl sim.Val, inv bool, ok bool) {
+	switch t {
+	case netlist.And:
+		return sim.V0, false, true
+	case netlist.Nand:
+		return sim.V0, true, true
+	case netlist.Or:
+		return sim.V1, false, true
+	case netlist.Nor:
+		return sim.V1, true, true
+	default:
+		return sim.VX, false, false
+	}
+}
+
+// inverts reports whether the gate type inverts (for backtrace through
+// NOT and the inverting multi-input gates).
+func inverts(t netlist.GateType) bool {
+	switch t {
+	case netlist.Not, netlist.Nand, netlist.Nor, netlist.Xnor:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,315 @@
+package atpg
+
+import (
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// window is an iterative-array view of the circuit: k copies of the
+// combinational logic chained through the flip-flops. Frame-0 state
+// bits are free pseudo-inputs (to be justified later); the target fault
+// (if any) is injected in every frame, as a permanent stuck-at defect
+// is present in every time frame.
+type window struct {
+	c     *netlist.Circuit
+	order []int
+	k     int
+	flt   *fault.Fault // nil in justification mode
+
+	piVals    [][]sim.Val // [frame][pi] assigned values; VX = unassigned
+	stateVals []sim.Val   // frame-0 pseudo-input state; VX = unassigned
+	vals      [][]V5      // [frame][gate] composite values
+
+	dffIdx map[int]int // gate id -> state bit position
+	piIdx  map[int]int // gate id -> PI position
+
+	// Post-simulation snapshot, refreshed by simulate(): the problem
+	// callbacks read these instead of rescanning the window.
+	poDetected bool
+	frontier   []frontierEntry
+	dLast      bool
+	lineGood   sim.Val
+}
+
+type frontierEntry struct{ t, id int }
+
+func newWindow(c *netlist.Circuit, order []int, k int, flt *fault.Fault) *window {
+	w := &window{
+		c:      c,
+		order:  order,
+		k:      k,
+		flt:    flt,
+		dffIdx: map[int]int{},
+		piIdx:  map[int]int{},
+	}
+	for i, id := range c.DFFs {
+		w.dffIdx[id] = i
+	}
+	for i, id := range c.PIs {
+		w.piIdx[id] = i
+	}
+	w.piVals = make([][]sim.Val, k)
+	for t := range w.piVals {
+		w.piVals[t] = make([]sim.Val, len(c.PIs))
+		for i := range w.piVals[t] {
+			w.piVals[t][i] = sim.VX
+		}
+	}
+	w.stateVals = make([]sim.Val, len(c.DFFs))
+	for i := range w.stateVals {
+		w.stateVals[i] = sim.VX
+	}
+	w.vals = make([][]V5, k)
+	for t := range w.vals {
+		w.vals[t] = make([]V5, len(c.Gates))
+	}
+	return w
+}
+
+// faninVal returns the composite value gate id sees on fanin pin at
+// frame t, with branch-fault injection applied.
+func (w *window) faninVal(t, id, pin int) V5 {
+	v := w.vals[t][w.c.Gates[id].Fanin[pin]]
+	if w.flt != nil && w.flt.Pin == pin && w.flt.Gate == id {
+		v.F = w.flt.SA
+	}
+	return v
+}
+
+// simulate recomputes the window from the current pseudo-input
+// assignments and returns the number of frames evaluated (the effort
+// charge). While the fault is not yet excitable at frame 0 (the fault
+// line's good value is X or equals the stuck value), no fault effect
+// can exist anywhere and none of the later frames are consulted by the
+// search, so only frame 0 is evaluated — a large saving during the
+// excitation phase of deep windows.
+func (w *window) simulate() int {
+	w.evalFrame(0)
+	if w.flt != nil {
+		lg := w.faultLineGoodRaw()
+		if lg == sim.VX || lg == w.flt.SA {
+			w.lineGood = lg
+			w.poDetected = false
+			w.frontier = w.frontier[:0]
+			w.dLast = false
+			return 1
+		}
+	}
+	for t := 1; t < w.k; t++ {
+		w.evalFrame(t)
+	}
+	w.refresh()
+	return w.k
+}
+
+// evalFrame evaluates one frame; the inner loop is allocation-free —
+// both rails are folded directly over the fanins.
+func (w *window) evalFrame(frame int) {
+	faultGate, faultPin := -1, -1
+	var faultSA sim.Val
+	if w.flt != nil {
+		faultGate, faultPin, faultSA = w.flt.Gate, w.flt.Pin, w.flt.SA
+	}
+	for t := frame; t <= frame; t++ {
+		vals := w.vals[t]
+		for _, id := range w.order {
+			g := &w.c.Gates[id]
+			var v V5
+			switch g.Type {
+			case netlist.Input:
+				v = vBoth(w.piVals[t][w.piIdx[id]])
+			case netlist.DFF:
+				if t == 0 {
+					v = vBoth(w.stateVals[w.dffIdx[id]])
+				} else {
+					v = w.vals[t-1][g.Fanin[0]]
+					if id == faultGate && faultPin == 0 {
+						v.F = faultSA
+					}
+				}
+			case netlist.Const0:
+				v = vBoth(sim.V0)
+			case netlist.Const1:
+				v = vBoth(sim.V1)
+			case netlist.Buf, netlist.Output:
+				v = vals[g.Fanin[0]]
+				if id == faultGate && faultPin == 0 {
+					v.F = faultSA
+				}
+			case netlist.Not:
+				v = vals[g.Fanin[0]]
+				if id == faultGate && faultPin == 0 {
+					v.F = faultSA
+				}
+				v = V5{sim.NotV(v.G), sim.NotV(v.F)}
+			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+				// Fold both rails. ctrl is the controlling value.
+				ctrl := sim.V0
+				if g.Type == netlist.Or || g.Type == netlist.Nor {
+					ctrl = sim.V1
+				}
+				gAcc, fAcc := sim.NotV(ctrl), sim.NotV(ctrl)
+				gSawX, fSawX := false, false
+				for pin, f := range g.Fanin {
+					in := vals[f]
+					if id == faultGate && pin == faultPin {
+						in.F = faultSA
+					}
+					if in.G == ctrl {
+						gAcc = ctrl
+					} else if in.G == sim.VX {
+						gSawX = true
+					}
+					if in.F == ctrl {
+						fAcc = ctrl
+					} else if in.F == sim.VX {
+						fSawX = true
+					}
+				}
+				if gAcc != ctrl && gSawX {
+					gAcc = sim.VX
+				}
+				if fAcc != ctrl && fSawX {
+					fAcc = sim.VX
+				}
+				if g.Type == netlist.Nand || g.Type == netlist.Nor {
+					gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
+				}
+				v = V5{gAcc, fAcc}
+			case netlist.Xor, netlist.Xnor:
+				gAcc, fAcc := sim.V0, sim.V0
+				for pin, f := range g.Fanin {
+					in := vals[f]
+					if id == faultGate && pin == faultPin {
+						in.F = faultSA
+					}
+					gAcc = sim.XorV(gAcc, in.G)
+					fAcc = sim.XorV(fAcc, in.F)
+				}
+				if g.Type == netlist.Xnor {
+					gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
+				}
+				v = V5{gAcc, fAcc}
+			}
+			// Stem fault injection.
+			if id == faultGate && faultPin < 0 {
+				v.F = faultSA
+			}
+			vals[id] = v
+		}
+	}
+}
+
+// refresh recomputes the post-simulation snapshot.
+func (w *window) refresh() {
+	w.poDetected = false
+	w.frontier = w.frontier[:0]
+	w.dLast = false
+	if w.flt == nil {
+		return
+	}
+	w.lineGood = w.faultLineGoodRaw()
+	for t := 0; t < w.k; t++ {
+		for _, id := range w.c.POs {
+			if w.vals[t][id].isD() {
+				w.poDetected = true
+			}
+		}
+		for _, id := range w.order {
+			g := w.c.Gates[id]
+			if g.Type == netlist.Input || g.Type == netlist.DFF ||
+				g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+				continue
+			}
+			if w.vals[t][id].known() {
+				continue
+			}
+			for pin := range g.Fanin {
+				if w.faninVal(t, id, pin).isD() {
+					w.frontier = append(w.frontier, frontierEntry{t, id})
+					break
+				}
+			}
+		}
+	}
+	t := w.k - 1
+	for _, id := range w.c.DFFs {
+		if w.faninValAt(t, id, 0).isD() {
+			w.dLast = true
+			break
+		}
+	}
+}
+
+// faninValAt is faninVal for a specific frame (used for the DFF D line
+// crossing from frame t-1 into frame t).
+func (w *window) faninValAt(t, id, pin int) V5 {
+	v := w.vals[t][w.c.Gates[id].Fanin[pin]]
+	if w.flt != nil && w.flt.Pin == pin && w.flt.Gate == id {
+		v.F = w.flt.SA
+	}
+	return v
+}
+
+// detectedAtPO reports whether any primary output in any frame exposes
+// the fault (snapshot from the last simulation).
+func (w *window) detectedAtPO() bool { return w.poDetected }
+
+// dFrontier returns the (frame, gate) pairs whose output is not fully
+// known but which see a developed fault effect on at least one fanin
+// (snapshot from the last simulation).
+func (w *window) dFrontier() []frontierEntry { return w.frontier }
+
+// dReachesLastState reports whether a developed fault effect sits on a
+// DFF D line of the last frame — the effect would escape the window
+// into a later time frame (snapshot from the last simulation).
+func (w *window) dReachesLastState() bool { return w.dLast }
+
+// faultLineGood returns the good value of the faulted line at frame 0
+// (snapshot from the last simulation).
+func (w *window) faultLineGood() sim.Val { return w.lineGood }
+
+func (w *window) faultLineGoodRaw() sim.Val {
+	if w.flt.Pin < 0 {
+		return w.vals[0][w.flt.Gate].G
+	}
+	src := w.c.Gates[w.flt.Gate].Fanin[w.flt.Pin]
+	return w.vals[0][src].G
+}
+
+// excitationObjective returns the (frame0) line and good value needed to
+// excite the fault.
+func (w *window) excitationObjective() (gate int, val sim.Val) {
+	want := sim.V1
+	if w.flt.SA == sim.V1 {
+		want = sim.V0
+	}
+	if w.flt.Pin < 0 {
+		return w.flt.Gate, want
+	}
+	return w.c.Gates[w.flt.Gate].Fanin[w.flt.Pin], want
+}
+
+// stateCube returns a copy of the frame-0 state assignment.
+func (w *window) stateCube() []sim.Val {
+	return append([]sim.Val(nil), w.stateVals...)
+}
+
+// vectors materializes the per-frame input vectors, filling unassigned
+// inputs with 0 for determinism.
+func (w *window) vectors() [][]sim.Val {
+	out := make([][]sim.Val, w.k)
+	for t := 0; t < w.k; t++ {
+		vec := make([]sim.Val, len(w.c.PIs))
+		for i, v := range w.piVals[t] {
+			if v == sim.VX {
+				vec[i] = sim.V0
+			} else {
+				vec[i] = v
+			}
+		}
+		out[t] = vec
+	}
+	return out
+}

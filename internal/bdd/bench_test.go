@@ -1,0 +1,34 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkITE measures raw apply throughput on random 16-variable
+// functions.
+func BenchmarkITE(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(16)
+	fs := make([]Ref, 64)
+	for i := range fs {
+		fs[i] = randomRef(m, rng, 24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fs[i%len(fs)]
+		g := fs[(i+7)%len(fs)]
+		_ = m.And(f, m.Or(g, m.Not(f)))
+	}
+}
+
+// BenchmarkSatCount measures counting over a moderately sized function.
+func BenchmarkSatCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := New(20)
+	f := randomRef(m, rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SatCount(f, 20)
+	}
+}

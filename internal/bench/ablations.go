@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"text/tabwriter"
+
+	"seqatpg/internal/reach"
+	"seqatpg/internal/synth"
+)
+
+// AblationDC compares synthesis with and without the unreachable-state
+// don't-cares (the SIS extract_seq_dc analog). Removing the don't-cares
+// is the classic way to see how much the minimizer exploits invalid
+// states: the circuits grow, while the valid-state set (a function of
+// the machine, not the logic) stays put.
+func (s *Suite) AblationDC() (string, error) {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\tgates(dc)\tgates(nodc)\tarea(dc)\tarea(nodc)\tdensity")
+	for _, name := range []string{"dk16", "pma", "s820"} {
+		m, err := s.Machine(name)
+		if err != nil {
+			return "", err
+		}
+		spec := PairSpecs()[0]
+		for _, sp := range PairSpecs() {
+			if sp.FSM == name {
+				spec = sp
+				break
+			}
+		}
+		withDC, err := synth.Synthesize(m, synth.Options{
+			Algorithm: spec.Alg, Script: spec.Script, UseUnreachableDC: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		withoutDC, err := synth.Synthesize(m, synth.Options{
+			Algorithm: spec.Alg, Script: spec.Script, UseUnreachableDC: false,
+		})
+		if err != nil {
+			return "", err
+		}
+		sa, err := withDC.Circuit.ComputeStats(s.Lib)
+		if err != nil {
+			return "", err
+		}
+		sb, err := withoutDC.Circuit.ComputeStats(s.Lib)
+		if err != nil {
+			return "", err
+		}
+		ra, err := reach.Analyze(withDC.Circuit, reach.Options{FlushCycles: 1})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.2g\n",
+			spec.Name(), sa.Gates, sb.Gates, sa.Area, sb.Area, ra.Density)
+	}
+	w.Flush()
+	return buf.String(), nil
+}
+
+// AblationLearning isolates the SEST learning feature: the same
+// deterministic core with and without search-state learning on one
+// original/retimed pair. The paper's Section 5 observation is that
+// learning buys an order of magnitude on some circuits but cannot
+// remove the density-of-encoding penalty.
+func (s *Suite) AblationLearning() (string, error) {
+	specByName := map[string]PairSpec{}
+	for _, spec := range PairSpecs() {
+		specByName[spec.Name()] = spec
+	}
+	p, err := s.Pair(specByName["dk16.ji.sd"])
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\tengine\t%FC\t%FE\teffort")
+	rows := []struct {
+		label string
+		f     func() (*RunRecord, error)
+	}{
+		{p.Orig.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Orig.Circuit, 1) }},
+		{p.Orig.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Orig.Circuit, 1) }},
+		{p.Re.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles) }},
+		{p.Re.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Re.Circuit, p.Re.FlushCycles) }},
+	}
+	for _, row := range rows {
+		rec, err := row.f()
+		if err != nil {
+			return "", err
+		}
+		st := rec.Result.Stats
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d\n", row.label, st.FC(), st.FE(), st.Effort)
+	}
+	w.Flush()
+	return buf.String(), nil
+}

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyBudget is even smaller than QuickBudget so the whole-suite shape
+// tests stay fast in CI.
+func tinyBudget() Budget {
+	return Budget{
+		EffortScale: 500, MaxFaults: 80, RetimedCap: 40_000_000,
+		BigGates: 4000, BigEffortScale: 80, BigMaxFaults: 40, BigCap: 60_000_000,
+	}
+}
+
+func TestPairSpecsMatchPaper(t *testing.T) {
+	specs := PairSpecs()
+	if len(specs) != 16 {
+		t.Fatalf("expected the paper's 16 pairs, got %d", len(specs))
+	}
+	wantFirst, wantLast := "dk16.ji.sd", "scf.jo.sd"
+	if specs[0].Name() != wantFirst || specs[len(specs)-1].Name() != wantLast {
+		t.Errorf("pair order: got %s..%s, want %s..%s",
+			specs[0].Name(), specs[len(specs)-1].Name(), wantFirst, wantLast)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name()] {
+			t.Errorf("duplicate pair %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	out, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dk16", "pma", "s510", "s820", "s832", "scf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestPairConstruction(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	spec := PairSpecs()[0] // dk16.ji.sd
+	p, err := s.Pair(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Orig.Circuit.NumDFFs() != 5 {
+		t.Errorf("dk16 original has %d DFFs, want 5 (paper Table 2)", p.Orig.Circuit.NumDFFs())
+	}
+	if p.Re.Circuit.NumDFFs() <= p.Orig.Circuit.NumDFFs() {
+		t.Errorf("retimed circuit must have more DFFs: %d vs %d",
+			p.Re.Circuit.NumDFFs(), p.Orig.Circuit.NumDFFs())
+	}
+	if p.Re.FlushCycles < 1 {
+		t.Errorf("flush cycles = %d", p.Re.FlushCycles)
+	}
+	// Caching: same pointer on the second request.
+	p2, err := s.Pair(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Error("pair cache miss")
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	p, err := s.Pair(PairSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Run("hitec", p.Orig.Circuit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run("hitec", p.Orig.Circuit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("run cache miss")
+	}
+}
+
+// TestHeadlinePairShape is the core qualitative claim on one pair under
+// a small budget: the retimed circuit costs more effort per point of
+// coverage and ends with lower coverage.
+func TestHeadlinePairShape(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	p, err := s.Pair(PairSpecs()[0]) // dk16.ji.sd
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := s.Run("hitec", p.Orig.Circuit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, sr := orig.Result.Stats, re.Result.Stats
+	if sr.FC() >= so.FC() {
+		t.Errorf("retimed FC %.1f should be below original FC %.1f", sr.FC(), so.FC())
+	}
+	if sr.Effort <= so.Effort {
+		t.Errorf("retimed effort %d should exceed original effort %d", sr.Effort, so.Effort)
+	}
+	t.Logf("orig FC=%.1f effort=%d | re FC=%.1f effort=%d (ratio %.1f)",
+		so.FC(), so.Effort, sr.FC(), sr.Effort, float64(sr.Effort)/float64(so.Effort))
+}
+
+func TestSampleFaults(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	p, err := s.Pair(PairSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run("hitec", p.Orig.Circuit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Faults) > tinyBudget().MaxFaults {
+		t.Errorf("fault sample %d exceeds cap %d", len(r.Faults), tinyBudget().MaxFaults)
+	}
+}
+
+func TestBudgetClassSelection(t *testing.T) {
+	b := FullBudget()
+	small := b.perFault(300)
+	big := b.perFault(10000)
+	if small != 12000*300 {
+		t.Errorf("small per-fault = %d", small)
+	}
+	if big != 2500*10000 {
+		t.Errorf("big per-fault = %d", big)
+	}
+	if b.maxFaults(300) != 700 || b.maxFaults(10000) != 350 {
+		t.Error("maxFaults class selection wrong")
+	}
+	if b.totalCap(300, false) != 0 {
+		t.Error("small originals must be uncapped")
+	}
+	if b.totalCap(300, true) != b.RetimedCap {
+		t.Error("small retimed must use RetimedCap")
+	}
+	if b.totalCap(10000, false) != b.BigCap {
+		t.Error("big circuits must use BigCap")
+	}
+}
+
+// TestTable7LadderShape: monotone register growth and density decay
+// down the ladder (reachability runs are cheap on s510-sized circuits).
+func TestTable7LadderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ladder construction is a few seconds")
+	}
+	s := NewSuite(tinyBudget())
+	rows, _, err := s.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ladder has %d rungs, want 4 (original + v1..v3)", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DFFs < rows[i-1].DFFs {
+			t.Errorf("rung %d: DFFs shrank %d -> %d", i, rows[i-1].DFFs, rows[i].DFFs)
+		}
+		if rows[i].Density > rows[i-1].Density {
+			t.Errorf("rung %d: density rose %.3g -> %.3g", i, rows[i-1].Density, rows[i].Density)
+		}
+	}
+}
+
+func TestAblationDC(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	out, err := s.AblationDC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dk16") || !strings.Contains(out, "gates(nodc)") {
+		t.Errorf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestAblationLearning(t *testing.T) {
+	s := NewSuite(tinyBudget())
+	out, err := s.AblationLearning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sest (learning)") {
+		t.Errorf("ablation output malformed:\n%s", out)
+	}
+}
+
+func TestRenderFigure3(t *testing.T) {
+	pts := []Figure3Point{
+		{Name: "orig", Budget: 100, FE: 45.7},
+		{Name: "orig", Budget: 400, FE: 96.6},
+		{Name: "re.v1", Budget: 100, FE: 0},
+		{Name: "re.v1", Budget: 400, FE: 18.1},
+	}
+	out := RenderFigure3(pts)
+	for _, want := range []string{"orig", "re.v1", "FE 96.6%", "FE 18.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if RenderFigure3(nil) != "(no data)\n" {
+		t.Error("empty chart handling")
+	}
+}
+
+// TestAllTableDriversTiny exercises every table driver end to end under
+// the tiny budget — an integration smoke of the full harness.
+func TestAllTableDriversTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness-scale test (minutes)")
+	}
+	s := NewSuite(tinyBudget())
+	rows2, out2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 32 || !strings.Contains(out2, "dk16.ji.sd.re") {
+		t.Fatalf("table 2 shape: %d rows", len(rows2))
+	}
+	// Every odd row is a retimed circuit with a ratio.
+	for i := 1; i < len(rows2); i += 2 {
+		if rows2[i].EffortRatio <= 0 {
+			t.Errorf("row %s has no ratio", rows2[i].Name)
+		}
+	}
+	rows6, _, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows6) != 32 {
+		t.Fatalf("table 6 shape: %d rows", len(rows6))
+	}
+	for i := 0; i < len(rows6); i += 2 {
+		orig, re := rows6[i], rows6[i+1]
+		if re.Density >= orig.Density {
+			t.Errorf("%s: density did not drop (%.3g -> %.3g)", orig.Name, orig.Density, re.Density)
+		}
+	}
+	rows8, _, err := s.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 4 {
+		t.Fatalf("table 8 shape: %d rows", len(rows8))
+	}
+	for _, r := range rows8 {
+		if r.FCOrigSet < r.FC {
+			t.Logf("note: %s orig-set FC %.1f below ATPG FC %.1f (tiny budgets)", r.Name, r.FCOrigSet, r.FC)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package bench
+
+import "testing"
+
+// TestWarmPairsRace exercises the parallel warm-up under the race
+// detector.
+func TestWarmPairsRace(t *testing.T) {
+	s := NewSuite(Budget{EffortScale: 100, MaxFaults: 20, RetimedCap: 5_000_000,
+		BigGates: 4000, BigEffortScale: 30, BigMaxFaults: 10, BigCap: 5_000_000})
+	if err := s.WarmPairs("hitec", PairSpecs()[:4]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigure3 draws the fault-efficiency-versus-budget curves as an
+// ASCII chart, one row per circuit, echoing the paper's Figure 3. The
+// x axis is the budget sweep (log-spaced by construction); the y axis
+// is fault efficiency.
+func RenderFigure3(points []Figure3Point) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	byCircuit := map[string][]Figure3Point{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byCircuit[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byCircuit[p.Name] = append(byCircuit[p.Name], p)
+	}
+	const width = 56
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "fault efficiency vs effort budget (each curve: low -> high budget)")
+	fmt.Fprintln(&buf, strings.Repeat("-", width+24))
+	for _, name := range order {
+		pts := byCircuit[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Budget < pts[j].Budget })
+		fmt.Fprintf(&buf, "%-18s |", name)
+		// One glyph column per sample, spaced across the width.
+		cols := make([]rune, width)
+		for i := range cols {
+			cols[i] = ' '
+		}
+		for i, p := range pts {
+			pos := 0
+			if len(pts) > 1 {
+				pos = i * (width - 1) / (len(pts) - 1)
+			}
+			// Mark the sample with its FE decile.
+			glyphs := []rune("0123456789X")
+			idx := int(p.FE / 10)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			cols[pos] = glyphs[idx]
+		}
+		buf.WriteString(string(cols))
+		last := pts[len(pts)-1]
+		fmt.Fprintf(&buf, "| FE %.1f%% @%g\n", last.FE, float64(last.Budget))
+	}
+	fmt.Fprintln(&buf, strings.Repeat("-", width+24))
+	fmt.Fprintln(&buf, "glyphs are FE deciles (0 = <10%, 9 = 90-99%, X = 100%)")
+	return buf.String()
+}

@@ -1,0 +1,356 @@
+// Package bench drives the reproduction experiments: it synthesizes the
+// paper's circuit suite (every FSM × encoding × script combination of
+// Table 2, each with its retimed counterpart), runs the three ATPG
+// engines under deterministic effort budgets, and regenerates every
+// table and figure of the paper's evaluation section.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/atpg/attest"
+	"seqatpg/internal/atpg/hitec"
+	"seqatpg/internal/atpg/sest"
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/synth"
+)
+
+// PairSpec names one original/retimed circuit pair of the paper's
+// Table 2.
+type PairSpec struct {
+	FSM    string
+	Alg    encode.Algorithm
+	Script synth.Script
+	// Rounds is the number of backward atomic-move sweeps used to
+	// create the retimed version.
+	Rounds int
+}
+
+// Name renders the paper's circuit naming convention (e.g. dk16.ji.sd).
+func (p PairSpec) Name() string {
+	return fmt.Sprintf("%s.%s.%s", p.FSM, p.Alg, p.Script)
+}
+
+// PairSpecs returns the 16 circuit pairs of Table 2 in paper order.
+func PairSpecs() []PairSpec {
+	ji, jo, jc := encode.InputDominant, encode.OutputDominant, encode.Combined
+	sd, sr := synth.Delay, synth.Rugged
+	return []PairSpec{
+		{"dk16", ji, sd, 2},
+		{"pma", jo, sd, 2},
+		{"s510", jc, sd, 2},
+		{"s510", jc, sr, 2},
+		{"s510", ji, sd, 2},
+		{"s510", ji, sr, 2},
+		{"s510", jo, sr, 2},
+		{"s820", jc, sd, 2},
+		{"s820", jc, sr, 2},
+		{"s820", ji, sr, 2},
+		{"s820", jo, sd, 2},
+		{"s820", jo, sr, 2},
+		{"s832", jc, sr, 2},
+		{"s832", jo, sr, 2},
+		{"scf", ji, sd, 1},
+		{"scf", jo, sd, 1},
+	}
+}
+
+// Pair is a constructed original/retimed circuit pair.
+type Pair struct {
+	Spec PairSpec
+	Orig *synth.Result
+	Re   *retime.Result
+}
+
+// Budget classifies how much effort the engines may spend; Quick is for
+// tests and smoke runs, Full approximates the paper's CPU allowances.
+// Large circuits (the scf class) get their own scaled-down knobs, and
+// retimed circuits get an absolute whole-run cap — the reproduction of
+// the paper's manual halt ("HITEC was manually halted after at least 12
+// CPU hours had expired without a single additional fault being
+// detected").
+type Budget struct {
+	// EffortScale: per-fault budget = EffortScale × gate count.
+	EffortScale int64
+	// MaxFaults caps the (deterministically sampled) fault list size; 0
+	// means no cap.
+	MaxFaults int
+	// RetimedCap is the absolute whole-run effort cap applied to
+	// retimed circuits (0 = none).
+	RetimedCap int64
+	// BigGates is the gate count above which the Big* overrides apply.
+	BigGates       int
+	BigEffortScale int64
+	BigMaxFaults   int
+	BigCap         int64 // applied to big runs, original or retimed
+}
+
+// FullBudget approximates the paper's generous CPU allowance, scaled to
+// a single modern core.
+func FullBudget() Budget {
+	return Budget{
+		EffortScale: 12000, MaxFaults: 700, RetimedCap: 5_000_000_000,
+		BigGates: 4000, BigEffortScale: 2500, BigMaxFaults: 350, BigCap: 8_000_000_000,
+	}
+}
+
+// QuickBudget is for tests and smoke runs: small but large enough to
+// show the retiming effect.
+func QuickBudget() Budget {
+	return Budget{
+		EffortScale: 800, MaxFaults: 120, RetimedCap: 100_000_000,
+		BigGates: 4000, BigEffortScale: 150, BigMaxFaults: 60, BigCap: 150_000_000,
+	}
+}
+
+// perFault returns the per-fault effort budget for a circuit.
+func (b Budget) perFault(gates int) int64 {
+	if b.BigGates > 0 && gates > b.BigGates {
+		return b.BigEffortScale * int64(gates)
+	}
+	return b.EffortScale * int64(gates)
+}
+
+// maxFaults returns the sampled fault-list bound for a circuit.
+func (b Budget) maxFaults(gates int) int {
+	if b.BigGates > 0 && gates > b.BigGates {
+		return b.BigMaxFaults
+	}
+	return b.MaxFaults
+}
+
+// totalCap returns the whole-run cap (0 = none). Retimed circuits are
+// identified by their ".re" name suffix.
+func (b Budget) totalCap(gates int, retimed bool) int64 {
+	if b.BigGates > 0 && gates > b.BigGates && b.BigCap > 0 {
+		return b.BigCap
+	}
+	if retimed {
+		return b.RetimedCap
+	}
+	return 0
+}
+
+// Suite lazily builds circuits and memoizes ATPG runs so the tables can
+// share them.
+type Suite struct {
+	Lib    *netlist.Library
+	Budget Budget
+
+	mu       sync.Mutex
+	machines map[string]*fsm.FSM
+	pairs    map[string]*Pair
+	runs     map[string]*RunRecord
+}
+
+// NewSuite creates a suite with the given budget.
+func NewSuite(b Budget) *Suite {
+	return &Suite{
+		Lib:      netlist.DefaultLibrary(),
+		Budget:   b,
+		machines: map[string]*fsm.FSM{},
+		pairs:    map[string]*Pair{},
+		runs:     map[string]*RunRecord{},
+	}
+}
+
+// Machine returns the (minimized) benchmark FSM by name.
+func (s *Suite) Machine(name string) (*fsm.FSM, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.machines[name]; ok {
+		return m, nil
+	}
+	for _, b := range fsm.Suite() {
+		if b.Spec.Name != name {
+			continue
+		}
+		raw, err := fsm.Generate(b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		min, err := fsm.Minimize(raw)
+		if err != nil {
+			return nil, err
+		}
+		s.machines[name] = min
+		return min, nil
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark FSM %q", name)
+}
+
+// Pair synthesizes (and caches) one circuit pair.
+func (s *Suite) Pair(spec PairSpec) (*Pair, error) {
+	key := spec.Name()
+	s.mu.Lock()
+	if p, ok := s.pairs[key]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	m, err := s.Machine(spec.FSM)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := synth.Synthesize(m, synth.Options{
+		Algorithm: spec.Alg, Script: spec.Script, UseUnreachableDC: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	re, err := retime.Backward(orig.Circuit, s.Lib, spec.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pair{Spec: spec, Orig: orig, Re: re}
+	s.mu.Lock()
+	s.pairs[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// RunRecord is one memoized ATPG run.
+type RunRecord struct {
+	Circuit *netlist.Circuit
+	Engine  string
+	Result  *atpg.Result
+	Faults  []fault.Fault // the (possibly sampled) fault list used
+}
+
+// sampleFaults deterministically thins a fault list to at most max.
+func sampleFaults(faults []fault.Fault, max int) []fault.Fault {
+	if max <= 0 || len(faults) <= max {
+		return faults
+	}
+	out := make([]fault.Fault, 0, max)
+	stride := float64(len(faults)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, faults[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// engineConfig builds the engine configuration for a circuit under the
+// suite budget.
+func (s *Suite) engineConfig(engine string, c *netlist.Circuit, flush int) (atpg.Config, error) {
+	gates := c.NumGates()
+	perFault := s.Budget.perFault(gates)
+	var cfg atpg.Config
+	switch engine {
+	case "hitec":
+		cfg = hitec.DefaultConfig(flush, perFault)
+	case "attest":
+		cfg = attest.DefaultConfig(flush, perFault)
+	case "sest":
+		cfg = sest.DefaultConfig(flush, perFault)
+	default:
+		return cfg, fmt.Errorf("bench: unknown engine %q", engine)
+	}
+	cfg.TotalBudget = s.Budget.totalCap(gates, strings.Contains(c.Name, ".re"))
+	return cfg, nil
+}
+
+// Run executes (and caches) one engine over one circuit.
+func (s *Suite) Run(engine string, c *netlist.Circuit, flush int) (*RunRecord, error) {
+	key := engine + "/" + c.Name
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	cfg, err := s.engineConfig(engine, c, flush)
+	if err != nil {
+		return nil, err
+	}
+	e, err := atpg.New(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	faults := sampleFaults(fault.CollapsedUniverse(c), s.Budget.maxFaults(c.NumGates()))
+	res, err := e.RunFaults(faults)
+	if err != nil {
+		return nil, err
+	}
+	rec := &RunRecord{Circuit: c, Engine: engine, Result: res, Faults: faults}
+	s.mu.Lock()
+	s.runs[key] = rec
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// newEngine builds an engine directly from a config (used by the
+// Figure 3 sweep, which varies the budget outside the memo cache).
+func newEngine(rc *retime.Result, cfg atpg.Config) (*atpg.Engine, error) {
+	return atpg.New(rc.Circuit, cfg)
+}
+
+// runJob names one (engine, circuit, flush) work item for Warm.
+type runJob struct {
+	engine string
+	c      *netlist.Circuit
+	flush  int
+}
+
+// Warm executes the given runs on a worker pool sized to the machine,
+// so subsequent table assembly hits the memo cache. The first error is
+// returned (remaining jobs still finish).
+func (s *Suite) warm(jobs []runJob) error {
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan runJob)
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if _, err := s.Run(j.engine, j.c, j.flush); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// WarmPairs builds every pair and pre-runs the engine over each
+// original and retimed circuit in parallel.
+func (s *Suite) WarmPairs(engine string, specs []PairSpec) error {
+	var jobs []runJob
+	for _, spec := range specs {
+		p, err := s.Pair(spec)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs,
+			runJob{engine, p.Orig.Circuit, 1},
+			runJob{engine, p.Re.Circuit, p.Re.FlushCycles})
+	}
+	return s.warm(jobs)
+}

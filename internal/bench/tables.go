@@ -1,0 +1,507 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"text/tabwriter"
+
+	"seqatpg/internal/analyze"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/reach"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/sim"
+)
+
+// Table1 reports the benchmark FSM suite (paper Table 1).
+func (s *Suite) Table1() (string, error) {
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FSM\tPI\tPO\tstates\tminimized")
+	for _, b := range fsm.Suite() {
+		m, err := fsm.Generate(b.Spec)
+		if err != nil {
+			return "", err
+		}
+		min, err := s.Machine(b.Spec.Name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n",
+			b.Spec.Name, m.NumInputs, m.NumOutputs, m.NumStates(), min.NumStates())
+	}
+	w.Flush()
+	return buf.String(), nil
+}
+
+// Table2Row is one original/retimed HITEC comparison.
+type Table2Row struct {
+	Name        string
+	DFFs        int
+	FC, FE      float64
+	Effort      int64
+	EffortRatio float64 // retimed rows only
+}
+
+// Table2 runs the HITEC-style engine on every pair (paper Table 2).
+// Effort (deterministic gate-frame evaluations) stands in for the
+// paper's DECstation CPU seconds; the reproduced quantity is the
+// retimed/original ratio.
+func (s *Suite) Table2() ([]Table2Row, string, error) {
+	if err := s.WarmPairs("hitec", PairSpecs()); err != nil {
+		return nil, "", err
+	}
+	var rows []Table2Row
+	for _, spec := range PairSpecs() {
+		p, err := s.Pair(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		orig, err := s.Run("hitec", p.Orig.Circuit, 1)
+		if err != nil {
+			return nil, "", err
+		}
+		re, err := s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles)
+		if err != nil {
+			return nil, "", err
+		}
+		so, sr := orig.Result.Stats, re.Result.Stats
+		rows = append(rows,
+			Table2Row{Name: spec.Name(), DFFs: p.Orig.Circuit.NumDFFs(),
+				FC: so.FC(), FE: so.FE(), Effort: so.Effort},
+			Table2Row{Name: spec.Name() + ".re", DFFs: p.Re.Circuit.NumDFFs(),
+				FC: sr.FC(), FE: sr.FE(), Effort: sr.Effort,
+				EffortRatio: float64(sr.Effort) / float64(so.Effort)})
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\t#DFF\t%FC\t%FE\teffort\tratio")
+	for _, r := range rows {
+		ratio := ""
+		if r.EffortRatio > 0 {
+			ratio = fmt.Sprintf("%.1f", r.EffortRatio)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%d\t%s\n", r.Name, r.DFFs, r.FC, r.FE, r.Effort, ratio)
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+// confirmRow is a row of Tables 3 and 4.
+type confirmRow struct {
+	Name           string
+	FCOrig, FEOrig float64
+	FCRe, FERe     float64
+	Ratio          float64
+}
+
+// table34 runs a confirming engine over the paper's selected pairs.
+func (s *Suite) table34(engine string, names []string) ([]confirmRow, string, error) {
+	specByName := map[string]PairSpec{}
+	for _, spec := range PairSpecs() {
+		specByName[spec.Name()] = spec
+	}
+	var warmSpecs []PairSpec
+	for _, n := range names {
+		spec, ok := specByName[n]
+		if !ok {
+			return nil, "", fmt.Errorf("bench: unknown pair %q", n)
+		}
+		warmSpecs = append(warmSpecs, spec)
+	}
+	if err := s.WarmPairs(engine, warmSpecs); err != nil {
+		return nil, "", err
+	}
+	var rows []confirmRow
+	for _, n := range names {
+		spec := specByName[n]
+		p, err := s.Pair(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		orig, err := s.Run(engine, p.Orig.Circuit, 1)
+		if err != nil {
+			return nil, "", err
+		}
+		re, err := s.Run(engine, p.Re.Circuit, p.Re.FlushCycles)
+		if err != nil {
+			return nil, "", err
+		}
+		so, sr := orig.Result.Stats, re.Result.Stats
+		rows = append(rows, confirmRow{
+			Name: n, FCOrig: so.FC(), FEOrig: so.FE(),
+			FCRe: sr.FC(), FERe: sr.FE(),
+			Ratio: float64(sr.Effort) / float64(so.Effort),
+		})
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\t%FC(orig)\t%FE(orig)\t%FC(re)\t%FE(re)\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			r.Name, r.FCOrig, r.FEOrig, r.FCRe, r.FERe, r.Ratio)
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+// Table3 is the Attest confirmation subset (paper Table 3).
+func (s *Suite) Table3() ([]confirmRow, string, error) {
+	return s.table34("attest",
+		[]string{"dk16.ji.sd", "pma.jo.sd", "s510.jc.sd", "s510.ji.sr", "s510.jo.sr"})
+}
+
+// Table4 is the SEST confirmation subset (paper Table 4).
+func (s *Suite) Table4() ([]confirmRow, string, error) {
+	return s.table34("sest",
+		[]string{"dk16.ji.sd", "pma.jo.sd", "s510.jc.sd", "s510.ji.sd", "s510.jo.sr"})
+}
+
+// Table5Row holds structural attributes of one pair.
+type Table5Row struct {
+	Name     string
+	Orig, Re analyze.Attributes
+}
+
+// Table5 computes the structural attributes (paper Table 5): maximum
+// sequential depth and maximum cycle length are invariant (Theorems 2
+// and 4) while the Lioy-style cycle count grows.
+func (s *Suite) Table5() ([]Table5Row, string, error) {
+	var rows []Table5Row
+	for _, spec := range PairSpecs() {
+		p, err := s.Pair(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		ao, err := analyze.Analyze(p.Orig.Circuit)
+		if err != nil {
+			return nil, "", err
+		}
+		ar, err := analyze.Analyze(p.Re.Circuit)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, Table5Row{Name: spec.Name(), Orig: ao, Re: ar})
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdepth(orig)\tmaxcyc(orig)\t#cyc(orig)\tdepth(re)\tmaxcyc(re)\t#cyc(re)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%d\t%s\n", r.Name,
+			r.Orig.MaxSeqDepth, r.Orig.MaxCycleLength, countStr(r.Orig),
+			r.Re.MaxSeqDepth, r.Re.MaxCycleLength, countStr(r.Re))
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+func countStr(a analyze.Attributes) string {
+	if a.Truncated {
+		return fmt.Sprintf("≥%d", a.NumCycles)
+	}
+	return fmt.Sprint(a.NumCycles)
+}
+
+// Table6Row is the state-traversal instrumentation of one circuit.
+type Table6Row struct {
+	Name        string
+	Traversed   int
+	Valid       float64
+	PctValidTrv float64
+	Total       float64
+	Density     float64
+}
+
+// Table6 combines the HITEC runs with symbolic reachability (paper
+// Table 6): the traversed-state counts, valid-state counts, and the
+// density of encoding.
+func (s *Suite) Table6() ([]Table6Row, string, error) {
+	var rows []Table6Row
+	add := func(name string, c *RunRecord, flush int) error {
+		ra, err := reach.Analyze(c.Circuit, reach.Options{FlushCycles: flush})
+		if err != nil {
+			return err
+		}
+		trav := len(c.Result.Stats.StatesTraversed)
+		pct := 0.0
+		if ra.ValidStates > 0 {
+			pct = 100 * float64(trav) / ra.ValidStates
+		}
+		rows = append(rows, Table6Row{
+			Name: name, Traversed: trav, Valid: ra.ValidStates,
+			PctValidTrv: pct, Total: ra.TotalStates, Density: ra.Density,
+		})
+		return nil
+	}
+	for _, spec := range PairSpecs() {
+		p, err := s.Pair(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		orig, err := s.Run("hitec", p.Orig.Circuit, 1)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := add(spec.Name(), orig, 1); err != nil {
+			return nil, "", err
+		}
+		re, err := s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := add(spec.Name()+".re", re, p.Re.FlushCycles); err != nil {
+			return nil, "", err
+		}
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\t#trav\t#valid\t%valid trav\ttotal\tdensity")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.3g\t%.2g\n",
+			r.Name, r.Traversed, r.Valid, r.PctValidTrv, r.Total, r.Density)
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+// Table7Row is one rung of the density-sensitivity ladder.
+type Table7Row struct {
+	Name    string
+	Delay   float64
+	DFFs    int
+	Valid   float64
+	Total   float64
+	Density float64
+	Flush   int
+}
+
+// ladderBase is the circuit the paper uses for the sensitivity analysis.
+const ladderBase = "s510.jo.sr"
+
+// Table7 builds the graded retiming ladder of the paper's Table 7:
+// several retimed versions of one circuit with increasing register
+// counts and decreasing density of encoding.
+func (s *Suite) Table7() ([]Table7Row, string, error) {
+	specByName := map[string]PairSpec{}
+	for _, spec := range PairSpecs() {
+		specByName[spec.Name()] = spec
+	}
+	base, err := s.Pair(specByName[ladderBase])
+	if err != nil {
+		return nil, "", err
+	}
+	type rung struct {
+		name   string
+		c      *retime.Result
+		rounds int
+	}
+	var rungs []rung
+	origPeriod, err := retime.CurrentPeriod(base.Orig.Circuit, s.Lib)
+	if err != nil {
+		return nil, "", err
+	}
+	rungs = append(rungs, rung{name: ladderBase, c: &retime.Result{
+		Circuit: base.Orig.Circuit, Period: origPeriod, FlushCycles: 1}})
+	// Three graded retimings (the paper's v1/v2/v3 plus the full .re;
+	// beyond three sweeps the symbolic valid-state analysis becomes
+	// intractable, so the ladder tops out at three).
+	for i, rounds := range []int{1, 2, 3} {
+		r, err := retime.Backward(base.Orig.Circuit, s.Lib, rounds)
+		if err != nil {
+			return nil, "", err
+		}
+		r.Circuit.Name = fmt.Sprintf("%s.re.v%d", ladderBase, i+1)
+		rungs = append(rungs, rung{name: r.Circuit.Name, c: r, rounds: rounds})
+	}
+
+	var rows []Table7Row
+	for _, r := range rungs {
+		ra, err := reach.Analyze(r.c.Circuit, reach.Options{FlushCycles: r.c.FlushCycles})
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, Table7Row{
+			Name: r.name, Delay: r.c.Period, DFFs: r.c.Circuit.NumDFFs(),
+			Valid: ra.ValidStates, Total: ra.TotalStates, Density: ra.Density,
+			Flush: r.c.FlushCycles,
+		})
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdelay\t#DFF\t#valid\ttotal\tdensity")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%d\t%.0f\t%.3g\t%.2g\n",
+			r.Name, r.Delay, r.DFFs, r.Valid, r.Total, r.Density)
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+// Table8Row reports the original-test-set fault simulation experiment.
+type Table8Row struct {
+	Name        string
+	FC, FE      float64 // the ATPG's own results on the retimed circuit
+	TravATPG    int
+	Valid       float64
+	TravOrigSet int
+	FCOrigSet   float64
+}
+
+// table8Circuits mirrors the paper's four worst retimed circuits.
+var table8Circuits = []string{"s510.jc.sr", "s510.jo.sr", "s832.jc.sr", "scf.ji.sd"}
+
+// Table8 fault-simulates the test set generated for each original
+// circuit on the corresponding retimed circuit (sound by Theorem 1 once
+// the flush prefix replaces the original reset cycle) and compares
+// state traversal and coverage with what the ATPG managed directly.
+func (s *Suite) Table8() ([]Table8Row, string, error) {
+	specByName := map[string]PairSpec{}
+	for _, spec := range PairSpecs() {
+		specByName[spec.Name()] = spec
+	}
+	var rows []Table8Row
+	for _, name := range table8Circuits {
+		p, err := s.Pair(specByName[name])
+		if err != nil {
+			return nil, "", err
+		}
+		orig, err := s.Run("hitec", p.Orig.Circuit, 1)
+		if err != nil {
+			return nil, "", err
+		}
+		re, err := s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles)
+		if err != nil {
+			return nil, "", err
+		}
+		ra, err := reach.Analyze(p.Re.Circuit, reach.Options{FlushCycles: p.Re.FlushCycles})
+		if err != nil {
+			return nil, "", err
+		}
+		// Adapt each original test: replace its 1-cycle reset prefix by
+		// the retimed circuit's flush prefix (the P∪T construction).
+		flush := make([][]sim.Val, p.Re.FlushCycles)
+		for k := range flush {
+			vec := make([]sim.Val, len(p.Re.Circuit.PIs))
+			for i, id := range p.Re.Circuit.PIs {
+				if id == p.Re.Circuit.ResetPI {
+					vec[i] = sim.V1
+				} else {
+					vec[i] = sim.V0
+				}
+			}
+			flush[k] = vec
+		}
+		fs, err := fault.NewSimulator(p.Re.Circuit)
+		if err != nil {
+			return nil, "", err
+		}
+		detected := make([]bool, len(re.Faults))
+		travOrig := map[uint64]bool{}
+		for _, seq := range orig.Result.Tests {
+			adapted := append(append([][]sim.Val{}, flush...), seq[1:]...)
+			det, err := fs.Detects(adapted, re.Faults)
+			if err != nil {
+				return nil, "", err
+			}
+			for i, d := range det {
+				detected[i] = detected[i] || d
+			}
+			states, err := fault.StateTrace(p.Re.Circuit, adapted)
+			if err != nil {
+				return nil, "", err
+			}
+			for st := range states {
+				travOrig[st] = true
+			}
+		}
+		cov := fault.Summarize(detected)
+		sr := re.Result.Stats
+		rows = append(rows, Table8Row{
+			Name: name + ".re", FC: sr.FC(), FE: sr.FE(),
+			TravATPG: len(sr.StatesTraversed), Valid: ra.ValidStates,
+			TravOrigSet: len(travOrig), FCOrigSet: cov.FC(),
+		})
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\t%FC\t%FE\t#trav ATPG\t#valid\t#trav orig set\t%FC orig set")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d\t%.0f\t%d\t%.1f\n",
+			r.Name, r.FC, r.FE, r.TravATPG, r.Valid, r.TravOrigSet, r.FCOrigSet)
+	}
+	w.Flush()
+	return rows, buf.String(), nil
+}
+
+// Figure3Point is one (budget, fault efficiency) sample of one ladder
+// circuit.
+type Figure3Point struct {
+	Name   string
+	Budget int64
+	FE     float64
+	Effort int64
+}
+
+// Figure3 sweeps the total effort budget over the Table 7 ladder and
+// records the fault efficiency reached — the paper's Figure 3: the
+// lower the density of encoding, the more effort a given fault
+// efficiency costs.
+func (s *Suite) Figure3() ([]Figure3Point, string, error) {
+	rows, _, err := s.Table7()
+	if err != nil {
+		return nil, "", err
+	}
+	specByName := map[string]PairSpec{}
+	for _, spec := range PairSpecs() {
+		specByName[spec.Name()] = spec
+	}
+	base, err := s.Pair(specByName[ladderBase])
+	if err != nil {
+		return nil, "", err
+	}
+	// Rebuild the ladder circuits (cheap; retime is deterministic).
+	circuits := []*retime.Result{{Circuit: base.Orig.Circuit, FlushCycles: 1}}
+	for _, rounds := range []int{1, 2, 3} {
+		r, err := retime.Backward(base.Orig.Circuit, s.Lib, rounds)
+		if err != nil {
+			return nil, "", err
+		}
+		circuits = append(circuits, r)
+	}
+	var points []Figure3Point
+	scales := []int64{4, 16, 64, 220}
+	for i, rc := range circuits {
+		name := rows[i].Name
+		perFault := s.Budget.EffortScale * int64(rc.Circuit.NumGates())
+		faults := sampleFaults(fault.CollapsedUniverse(rc.Circuit), s.Budget.MaxFaults)
+		for _, scale := range scales {
+			cfg, err := s.engineConfig("hitec", rc.Circuit, rc.FlushCycles)
+			if err != nil {
+				return nil, "", err
+			}
+			cfg.TotalBudget = scale * perFault
+			e, err := newEngine(rc, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			res, err := e.RunFaults(faults)
+			if err != nil {
+				return nil, "", err
+			}
+			points = append(points, Figure3Point{
+				Name: name, Budget: cfg.TotalBudget,
+				FE: res.Stats.FE(), Effort: res.Stats.Effort,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\n", "circuit\tbudget\teffort\t%FE")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\n", p.Name, p.Budget, p.Effort, p.FE)
+	}
+	w.Flush()
+	buf.WriteString("\n")
+	buf.WriteString(RenderFigure3(points))
+	return points, buf.String(), nil
+}

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"fmt"
+
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// Simulator is a PROOFS-style bit-parallel sequential fault simulator.
+// Bit 0 of every word carries the good circuit; bits 1..63 carry faulty
+// circuits, 63 faults per pass. All circuits start at the all-X
+// power-up state; test sequences are expected to begin with the reset
+// vector (plus the flush prefix for retimed circuits).
+type Simulator struct {
+	c     *netlist.Circuit
+	order []int
+}
+
+// NewSimulator builds a fault simulator for the circuit.
+func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{c: c, order: order}, nil
+}
+
+// injection describes where a batch member's fault manifests.
+type injection struct {
+	bit uint
+	pin int // -1 for output stem
+	sa  sim.Val
+}
+
+// Detects fault-simulates the test sequence against the fault list and
+// returns a parallel slice: detected[i] is true when applying the
+// sequence from power-up exposes faults[i] at a primary output (good
+// and faulty values both binary and different). Each input vector must
+// have one value per primary input.
+func (fs *Simulator) Detects(seq [][]sim.Val, faults []Fault) ([]bool, error) {
+	detected := make([]bool, len(faults))
+	for start := 0; start < len(faults); start += 63 {
+		end := start + 63
+		if end > len(faults) {
+			end = len(faults)
+		}
+		if err := fs.runBatch(seq, faults[start:end], detected[start:end]); err != nil {
+			return nil, err
+		}
+	}
+	return detected, nil
+}
+
+// runBatch simulates one batch of up to 63 faults in a single pass.
+func (fs *Simulator) runBatch(seq [][]sim.Val, faults []Fault, detected []bool) error {
+	c := fs.c
+	// Injection tables per gate.
+	inject := make(map[int][]injection)
+	for i, f := range faults {
+		inject[f.Gate] = append(inject[f.Gate], injection{bit: uint(i + 1), pin: f.Pin, sa: f.SA})
+	}
+	vals := make([]sim.PVal, len(c.Gates))
+	state := make([]sim.PVal, len(c.DFFs))
+	for i := range state {
+		state[i] = sim.PX()
+	}
+	faninBuf := make([]sim.PVal, netlist.MaxFanin)
+	for _, vec := range seq {
+		if len(vec) != len(c.PIs) {
+			return fmt.Errorf("fault: vector width %d, want %d", len(vec), len(c.PIs))
+		}
+		for i, id := range c.PIs {
+			vals[id] = sim.PConst(vec[i])
+		}
+		for i, id := range c.DFFs {
+			vals[id] = state[i]
+		}
+		// Input faults on PIs/DFF outputs are stem faults on those gates.
+		for _, id := range fs.order {
+			g := c.Gates[id]
+			injs := inject[id]
+			switch g.Type {
+			case netlist.Input, netlist.DFF:
+				// Value already loaded; apply stem faults below.
+			default:
+				in := faninBuf[:len(g.Fanin)]
+				for k, f := range g.Fanin {
+					in[k] = vals[f]
+				}
+				// Branch fault injection on this gate's input pins.
+				for _, inj := range injs {
+					if inj.pin >= 0 {
+						v := in[inj.pin]
+						v.Set(inj.bit, inj.sa)
+						in[inj.pin] = v
+					}
+				}
+				vals[id] = sim.EvalGateP(g.Type, in)
+			}
+			// Stem fault injection on the gate output.
+			for _, inj := range injs {
+				if inj.pin < 0 {
+					v := vals[id]
+					v.Set(inj.bit, inj.sa)
+					vals[id] = v
+				}
+			}
+		}
+		// Detection at POs: good bit binary, faulty bit binary, differ.
+		for _, id := range c.POs {
+			w := vals[id]
+			good := w.Get(0)
+			if good == sim.VX {
+				continue
+			}
+			for i := range faults {
+				if detected[i] {
+					continue
+				}
+				fv := w.Get(uint(i + 1))
+				if fv != sim.VX && fv != good {
+					detected[i] = true
+				}
+			}
+		}
+		// Clock.
+		for i, id := range c.DFFs {
+			d := c.Gates[id].Fanin[0]
+			state[i] = vals[d]
+			// A stem fault on the DFF itself pins its next Q value.
+			for _, inj := range inject[id] {
+				if inj.pin < 0 {
+					state[i].Set(inj.bit, inj.sa)
+				} else if inj.pin == 0 {
+					// Branch fault on the D input.
+					state[i].Set(inj.bit, inj.sa)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Coverage summarizes a detection vector.
+type Coverage struct {
+	Total    int
+	Detected int
+}
+
+// FC returns the fault coverage percentage.
+func (c Coverage) FC() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// Summarize counts detections.
+func Summarize(detected []bool) Coverage {
+	cov := Coverage{Total: len(detected)}
+	for _, d := range detected {
+		if d {
+			cov.Detected++
+		}
+	}
+	return cov
+}
+
+// StateTrace applies the sequence to the good circuit from power-up and
+// returns the set of fully specified states traversed (as packed DFF bit
+// vectors). This is the instrument behind the paper's "#states
+// traversed by original test set" column (Table 8).
+func StateTrace(c *netlist.Circuit, seq [][]sim.Val) (map[uint64]bool, error) {
+	s, err := sim.NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	s.PowerUp()
+	states := map[uint64]bool{}
+	for _, vec := range seq {
+		if _, err := s.Step(vec); err != nil {
+			return nil, err
+		}
+		if bits, ok := s.StateBits(); ok {
+			states[bits] = true
+		}
+	}
+	return states, nil
+}

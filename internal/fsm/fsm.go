@@ -1,0 +1,153 @@
+// Package fsm models finite state machines at the state-transition-graph
+// level: the KISS2 exchange format, reachability queries, determinism and
+// completeness checks, and stamina-style state minimization. It also
+// provides a deterministic generator for the synthetic benchmark suite
+// that stands in for the MCNC FSMs of the reproduced paper (Table 1).
+package fsm
+
+import (
+	"fmt"
+
+	"seqatpg/internal/logic"
+)
+
+// Transition is one symbolic edge of the state transition graph: when
+// the machine is in state From and the primary inputs match Input, the
+// next state is To and the primary outputs take Output. Output bits are
+// fully specified (Zero or One) for the machines in this project.
+type Transition struct {
+	Input  logic.Cube
+	From   int
+	To     int
+	Output logic.Cube
+}
+
+// FSM is a symbolic finite state machine.
+type FSM struct {
+	Name       string
+	NumInputs  int
+	NumOutputs int
+	States     []string // state names; index is the state id
+	Reset      int      // id of the reset state
+	Trans      []Transition
+}
+
+// NumStates returns the number of states.
+func (m *FSM) NumStates() int { return len(m.States) }
+
+// Clone deep-copies the machine.
+func (m *FSM) Clone() *FSM {
+	c := &FSM{
+		Name:       m.Name,
+		NumInputs:  m.NumInputs,
+		NumOutputs: m.NumOutputs,
+		States:     append([]string(nil), m.States...),
+		Reset:      m.Reset,
+		Trans:      make([]Transition, len(m.Trans)),
+	}
+	for i, t := range m.Trans {
+		c.Trans[i] = Transition{Input: t.Input.Clone(), From: t.From, To: t.To, Output: t.Output.Clone()}
+	}
+	return c
+}
+
+// TransFrom returns the indices of transitions leaving state s.
+func (m *FSM) TransFrom(s int) []int {
+	var out []int
+	for i, t := range m.Trans {
+		if t.From == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: state ids in range, cube widths
+// matching the interface, a valid reset state, and determinism (no two
+// transitions from the same state with intersecting input cubes and
+// different behaviour).
+func (m *FSM) Validate() error {
+	if m.NumStates() == 0 {
+		return fmt.Errorf("fsm %s: no states", m.Name)
+	}
+	if m.Reset < 0 || m.Reset >= m.NumStates() {
+		return fmt.Errorf("fsm %s: reset state %d out of range", m.Name, m.Reset)
+	}
+	for i, t := range m.Trans {
+		if t.From < 0 || t.From >= m.NumStates() || t.To < 0 || t.To >= m.NumStates() {
+			return fmt.Errorf("fsm %s: transition %d has out-of-range state", m.Name, i)
+		}
+		if len(t.Input) != m.NumInputs {
+			return fmt.Errorf("fsm %s: transition %d input width %d != %d", m.Name, i, len(t.Input), m.NumInputs)
+		}
+		if len(t.Output) != m.NumOutputs {
+			return fmt.Errorf("fsm %s: transition %d output width %d != %d", m.Name, i, len(t.Output), m.NumOutputs)
+		}
+	}
+	// Determinism: overlapping input cubes from one state must agree.
+	byState := make(map[int][]int)
+	for i, t := range m.Trans {
+		byState[t.From] = append(byState[t.From], i)
+	}
+	for s, idxs := range byState {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				ta, tb := m.Trans[idxs[a]], m.Trans[idxs[b]]
+				if !ta.Input.Intersects(tb.Input) {
+					continue
+				}
+				if ta.To != tb.To || !ta.Output.Equal(tb.Output) {
+					return fmt.Errorf("fsm %s: state %s has conflicting transitions %d and %d",
+						m.Name, m.States[s], idxs[a], idxs[b])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Complete reports whether every state specifies behaviour for the whole
+// input space (the union of its input cubes is a tautology).
+func (m *FSM) Complete() bool {
+	for s := range m.States {
+		cov := logic.NewCover(m.NumInputs)
+		for _, i := range m.TransFrom(s) {
+			cov.Add(m.Trans[i].Input)
+		}
+		if !cov.Tautology() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable returns the set of states reachable from the reset state.
+func (m *FSM) Reachable() map[int]bool {
+	seen := map[int]bool{m.Reset: true}
+	queue := []int{m.Reset}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, i := range m.TransFrom(s) {
+			to := m.Trans[i].To
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	return seen
+}
+
+// Step returns the next state and output for a concrete input assignment
+// (bit i of input = primary input i). The boolean is false when the
+// machine leaves the behaviour unspecified for that input.
+func (m *FSM) Step(state int, input uint64) (next int, output logic.Cube, ok bool) {
+	for _, i := range m.TransFrom(state) {
+		t := m.Trans[i]
+		if t.Input.EvalBits(input) {
+			return t.To, t.Output, true
+		}
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,255 @@
+package fsm
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"seqatpg/internal/logic"
+)
+
+// tiny returns a 3-state, 1-input, 1-output machine used across tests.
+func tiny(t *testing.T) *FSM {
+	t.Helper()
+	m := &FSM{
+		Name:       "tiny",
+		NumInputs:  1,
+		NumOutputs: 1,
+		States:     []string{"a", "b", "c"},
+		Reset:      0,
+	}
+	add := func(in string, from, to int, out string) {
+		m.Trans = append(m.Trans, Transition{
+			Input:  logic.MustParseCube(in),
+			From:   from,
+			To:     to,
+			Output: logic.MustParseCube(out),
+		})
+	}
+	add("0", 0, 0, "0")
+	add("1", 0, 1, "1")
+	add("0", 1, 2, "0")
+	add("1", 1, 0, "1")
+	add("0", 2, 2, "1")
+	add("1", 2, 0, "0")
+	if err := m.Validate(); err != nil {
+		t.Fatalf("tiny machine invalid: %v", err)
+	}
+	return m
+}
+
+func TestValidateCatchesConflicts(t *testing.T) {
+	m := tiny(t)
+	// Overlapping cubes with different targets.
+	m.Trans = append(m.Trans, Transition{
+		Input:  logic.MustParseCube("-"),
+		From:   0,
+		To:     2,
+		Output: logic.MustParseCube("0"),
+	})
+	if err := m.Validate(); err == nil {
+		t.Error("expected determinism violation")
+	}
+}
+
+func TestValidateCatchesBadWidths(t *testing.T) {
+	m := tiny(t)
+	m.Trans[0].Input = logic.MustParseCube("01")
+	if err := m.Validate(); err == nil {
+		t.Error("expected width violation")
+	}
+}
+
+func TestCompleteAndReachable(t *testing.T) {
+	m := tiny(t)
+	if !m.Complete() {
+		t.Error("tiny machine is complete")
+	}
+	if n := len(m.Reachable()); n != 3 {
+		t.Errorf("reachable = %d, want 3", n)
+	}
+	// Drop state c's incoming edge; c becomes unreachable.
+	m.Trans[2].To = 0
+	if n := len(m.Reachable()); n != 2 {
+		t.Errorf("reachable = %d, want 2", n)
+	}
+}
+
+func TestStep(t *testing.T) {
+	m := tiny(t)
+	next, out, ok := m.Step(0, 1)
+	if !ok || next != 1 || out.String() != "1" {
+		t.Errorf("Step(0,1) = %d,%v,%v", next, out, ok)
+	}
+	next, _, ok = m.Step(1, 0)
+	if !ok || next != 2 {
+		t.Errorf("Step(1,0) = %d,%v", next, ok)
+	}
+}
+
+func TestKISS2RoundTrip(t *testing.T) {
+	m := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteKISS2(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadKISS2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumInputs != 1 || back.NumOutputs != 1 || back.NumStates() != 3 {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	if len(back.Trans) != len(m.Trans) {
+		t.Fatalf("round trip changed transition count")
+	}
+	if back.States[back.Reset] != "a" {
+		t.Errorf("reset state lost: %s", back.States[back.Reset])
+	}
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadKISS2Errors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		".i 1\n.o 1\n0 a b",    // 3 fields
+		".i x\n.o 1\n0 a b 1",  // bad number
+		".r zz\n0 a b 1\n.e\n", // unknown reset
+		".i 1\n.o 1\n0z a b 1", // bad cube
+	}
+	for _, s := range cases {
+		if _, err := ReadKISS2(strings.NewReader(s)); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestMinimizeMergesClones(t *testing.T) {
+	m := tiny(t)
+	// Clone state b as state d, redirect a's 1-edge to d.
+	m.States = append(m.States, "d")
+	m.Trans = append(m.Trans,
+		Transition{Input: logic.MustParseCube("0"), From: 3, To: 2, Output: logic.MustParseCube("0")},
+		Transition{Input: logic.MustParseCube("1"), From: 3, To: 0, Output: logic.MustParseCube("1")},
+	)
+	m.Trans[1].To = 3 // a --1--> d instead of b
+	// b stays reachable via... it is not; re-add an edge c --1--> b.
+	m.Trans[5].To = 1
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 3 {
+		t.Errorf("minimized to %d states, want 3", min.NumStates())
+	}
+	if err := min.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !min.Complete() {
+		t.Error("minimized machine lost completeness")
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	m := tiny(t)
+	m.States = append(m.States, "orphan")
+	m.Trans = append(m.Trans,
+		Transition{Input: logic.MustParseCube("-"), From: 3, To: 0, Output: logic.MustParseCube("0")},
+	)
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 3 {
+		t.Errorf("minimized to %d states, want 3", min.NumStates())
+	}
+}
+
+func TestMinimizeDistinguishableStaysPut(t *testing.T) {
+	m := tiny(t)
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 3 {
+		t.Errorf("minimal machine shrank to %d states", min.NumStates())
+	}
+}
+
+// Behavioural equivalence between a machine and its minimized version:
+// run both from reset over random input sequences and compare outputs.
+func TestMinimizePreservesBehaviour(t *testing.T) {
+	m := tiny(t)
+	m.States = append(m.States, "d")
+	m.Trans = append(m.Trans,
+		Transition{Input: logic.MustParseCube("0"), From: 3, To: 2, Output: logic.MustParseCube("0")},
+		Transition{Input: logic.MustParseCube("1"), From: 3, To: 0, Output: logic.MustParseCube("1")},
+	)
+	m.Trans[1].To = 3
+	m.Trans[5].To = 1
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := []uint64{0b0, 0b1, 0b1101, 0b100110, 0b111111, 0b010101}
+	for _, seq := range seqs {
+		s1, s2 := m.Reset, min.Reset
+		for k := 0; k < 6; k++ {
+			in := (seq >> uint(k)) & 1
+			n1, o1, ok1 := m.Step(s1, in)
+			n2, o2, ok2 := min.Step(s2, in)
+			if ok1 != ok2 || !o1.Equal(o2) {
+				t.Fatalf("behaviour diverged on seq %b step %d", seq, k)
+			}
+			s1, s2 = n1, n2
+		}
+	}
+}
+
+func TestReadKISS2File(t *testing.T) {
+	f, err := os.Open("testdata/lion.kiss2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := ReadKISS2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInputs != 2 || m.NumOutputs != 1 || m.NumStates() != 4 {
+		t.Fatalf("lion shape: %d/%d/%d", m.NumInputs, m.NumOutputs, m.NumStates())
+	}
+	if m.States[m.Reset] != "st0" {
+		t.Errorf("reset = %s", m.States[m.Reset])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Reachable()) != 4 {
+		t.Error("all lion states should be reachable")
+	}
+	// lion is incompletely specified (st3 lacks the 11 edge).
+	if m.Complete() {
+		t.Error("lion should be incompletely specified")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	m := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", `"a" [shape=box]`, `"a" -> "b"`, "label=\"1/1\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

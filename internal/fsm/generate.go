@@ -1,0 +1,206 @@
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqatpg/internal/logic"
+)
+
+// GenSpec describes a synthetic benchmark machine. The generator
+// produces a completely specified, deterministic FSM with exactly
+// States states, all reachable from the reset state, of which Redundant
+// are duplicates of other states (so stamina-style minimization reduces
+// the machine to States-Redundant states, mirroring the footnote-2
+// behaviour of the paper's s820/s832/scf benchmarks).
+type GenSpec struct {
+	Name      string
+	Inputs    int
+	Outputs   int
+	States    int
+	Redundant int
+	Seed      int64
+}
+
+// maxDecisionBits bounds the per-state branching: each state uses at
+// most 2^maxDecisionBits transitions, which keeps the synthesized
+// next-state logic at control-logic scale.
+const maxDecisionBits = 3
+
+// Generate builds the machine described by spec. The construction is
+// fully deterministic in the seed. It retries internal seeds until the
+// base machine (before duplicate insertion) is minimal, so the
+// advertised Redundant count is exact.
+func Generate(spec GenSpec) (*FSM, error) {
+	if spec.States <= 0 || spec.Inputs <= 0 || spec.Outputs <= 0 {
+		return nil, fmt.Errorf("fsm: invalid generator spec %+v", spec)
+	}
+	if spec.Redundant >= spec.States {
+		return nil, fmt.Errorf("fsm: spec %s has no base states", spec.Name)
+	}
+	base := spec.States - spec.Redundant
+	for attempt := 0; attempt < 50; attempt++ {
+		seed := spec.Seed + int64(attempt)*1_000_003
+		m, err := generateBase(spec.Name, spec.Inputs, spec.Outputs, base, seed)
+		if err != nil {
+			return nil, err
+		}
+		// The base machine must already be minimal so duplicates are the
+		// only redundancy.
+		minimized, err := Minimize(m)
+		if err != nil {
+			return nil, err
+		}
+		if minimized.NumStates() != base {
+			continue
+		}
+		if spec.Redundant > 0 {
+			if !addDuplicates(m, spec.Redundant, rand.New(rand.NewSource(seed+7))) {
+				continue
+			}
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("fsm: generated machine invalid: %w", err)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("fsm: could not generate minimal base for %s after 50 attempts", spec.Name)
+}
+
+// generateBase builds a complete deterministic machine with n states all
+// reachable from state 0.
+func generateBase(name string, pi, po, n int, seed int64) (*FSM, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := &FSM{Name: name, NumInputs: pi, NumOutputs: po, Reset: 0}
+	for s := 0; s < n; s++ {
+		m.States = append(m.States, fmt.Sprintf("s%d", s))
+	}
+
+	// Spanning tree: each state beyond the reset gets a parent with
+	// spare transition capacity; capacity 2^maxDecisionBits-1 keeps one
+	// slot per state free for a non-tree edge.
+	maxTrans := 1 << maxDecisionBits
+	capLeft := make([]int, n)
+	for s := range capLeft {
+		capLeft[s] = maxTrans - 1
+	}
+	children := make([][]int, n)
+	for s := 1; s < n; s++ {
+		var eligible []int
+		for p := 0; p < s; p++ {
+			if capLeft[p] > 0 {
+				eligible = append(eligible, p)
+			}
+		}
+		if len(eligible) == 0 {
+			return nil, fmt.Errorf("fsm: spanning tree ran out of capacity")
+		}
+		p := eligible[rng.Intn(len(eligible))]
+		children[p] = append(children[p], s)
+		capLeft[p]--
+	}
+
+	decBits := min(pi, maxDecisionBits)
+	for s := 0; s < n; s++ {
+		need := len(children[s])
+		// Number of transitions: enough for the tree children plus at
+		// least one extra edge for cycles/variety, as a power of two.
+		b := 1
+		for (1 << b) < need+1 {
+			b++
+		}
+		if b > decBits {
+			b = decBits
+		}
+		t := 1 << b
+		vars := rng.Perm(pi)[:b]
+		for j := 0; j < t; j++ {
+			in := logic.NewCube(pi)
+			for k, v := range vars {
+				if (j>>k)&1 == 1 {
+					in[v] = logic.One
+				} else {
+					in[v] = logic.Zero
+				}
+			}
+			var to int
+			if j < need {
+				to = children[s][j]
+			} else {
+				to = rng.Intn(n)
+			}
+			// Control-logic outputs are sparse: most control signals are
+			// inactive in most states, which keeps the synthesized output
+			// logic shallow relative to the next-state logic (as in the
+			// paper's benchmarks, whose retimings rebalance the state
+			// cycles rather than the input-output paths).
+			out := make(logic.Cube, po)
+			for k := range out {
+				if rng.Intn(4) == 0 {
+					out[k] = logic.One
+				} else {
+					out[k] = logic.Zero
+				}
+			}
+			m.Trans = append(m.Trans, Transition{Input: in, From: s, To: to, Output: out})
+		}
+	}
+	return m, nil
+}
+
+// addDuplicates appends k states that clone the behaviour of existing
+// states and redirects one non-tree incoming edge of each cloned state
+// to the duplicate, so the duplicate is reachable, the original stays
+// reachable, and the machine's behaviour is unchanged. Returns false if
+// not enough redirectable edges exist.
+func addDuplicates(m *FSM, k int, rng *rand.Rand) bool {
+	// Count incoming edges per state.
+	incoming := make(map[int][]int) // state -> transition indices
+	for i, t := range m.Trans {
+		incoming[t.To] = append(incoming[t.To], i)
+	}
+	// A transition is safe to redirect when its target keeps at least
+	// one other incoming edge (we conservatively require ≥2 incoming).
+	type candidate struct{ trans, target int }
+	var cands []candidate
+	for s, edges := range incoming {
+		if len(edges) < 2 || s == m.Reset {
+			continue
+		}
+		for _, e := range edges[1:] { // keep edges[0] pointing at s
+			cands = append(cands, candidate{e, s})
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	used := map[int]bool{} // transitions already redirected
+	added := 0
+	for _, c := range cands {
+		if added == k {
+			break
+		}
+		if used[c.trans] {
+			continue
+		}
+		orig := c.target
+		dup := len(m.States)
+		m.States = append(m.States, fmt.Sprintf("%s_dup%d", m.States[orig], added))
+		// Clone all outgoing transitions of orig.
+		for _, i := range m.TransFrom(orig) {
+			t := m.Trans[i]
+			m.Trans = append(m.Trans, Transition{
+				Input:  t.Input.Clone(),
+				From:   dup,
+				To:     t.To,
+				Output: t.Output.Clone(),
+			})
+		}
+		m.Trans[c.trans].To = dup
+		used[c.trans] = true
+		added++
+	}
+	if added < k {
+		return false
+	}
+	// All states (including duplicates) must remain reachable.
+	return len(m.Reachable()) == m.NumStates()
+}

@@ -1,0 +1,115 @@
+package fsm
+
+import "testing"
+
+func TestGenerateSmall(t *testing.T) {
+	spec := GenSpec{Name: "g1", Inputs: 4, Outputs: 3, States: 10, Seed: 42}
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 10 {
+		t.Errorf("states = %d, want 10", m.NumStates())
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !m.Complete() {
+		t.Error("generated machine must be complete")
+	}
+	if len(m.Reachable()) != 10 {
+		t.Error("all states must be reachable")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "g2", Inputs: 5, Outputs: 4, States: 12, Seed: 99}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trans) != len(b.Trans) {
+		t.Fatal("two runs differ in transition count")
+	}
+	for i := range a.Trans {
+		ta, tb := a.Trans[i], b.Trans[i]
+		if !ta.Input.Equal(tb.Input) || ta.From != tb.From || ta.To != tb.To || !ta.Output.Equal(tb.Output) {
+			t.Fatalf("two runs differ at transition %d", i)
+		}
+	}
+}
+
+func TestGenerateWithRedundancy(t *testing.T) {
+	spec := GenSpec{Name: "g3", Inputs: 4, Outputs: 4, States: 12, Redundant: 3, Seed: 5}
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 12 {
+		t.Fatalf("states = %d, want 12", m.NumStates())
+	}
+	if len(m.Reachable()) != 12 {
+		t.Fatal("duplicates must be reachable")
+	}
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() != 9 {
+		t.Errorf("minimized states = %d, want 9", min.NumStates())
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(GenSpec{Name: "bad", Inputs: 0, Outputs: 1, States: 3}); err == nil {
+		t.Error("zero inputs must fail")
+	}
+	if _, err := Generate(GenSpec{Name: "bad", Inputs: 2, Outputs: 1, States: 3, Redundant: 3}); err == nil {
+		t.Error("all-redundant must fail")
+	}
+}
+
+// TestSuiteMatchesTable1 checks that the whole synthetic suite has the
+// paper's Table 1 interface dimensions and that minimization lands on
+// the footnote-2 state counts.
+func TestSuiteMatchesTable1(t *testing.T) {
+	want := map[string][3]int{ // PI, PO, states
+		"dk16": {3, 3, 27},
+		"pma":  {7, 8, 24},
+		"s510": {20, 7, 47},
+		"s820": {18, 19, 25},
+		"s832": {18, 19, 25},
+		"scf":  {27, 54, 121},
+	}
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Spec.Name, func(t *testing.T) {
+			w, ok := want[b.Spec.Name]
+			if !ok {
+				t.Fatalf("unexpected benchmark %s", b.Spec.Name)
+			}
+			m, err := Generate(b.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.NumInputs != w[0] || m.NumOutputs != w[1] || m.NumStates() != w[2] {
+				t.Errorf("%s: got %d/%d/%d, want %d/%d/%d", b.Spec.Name,
+					m.NumInputs, m.NumOutputs, m.NumStates(), w[0], w[1], w[2])
+			}
+			if len(m.Reachable()) != w[2] {
+				t.Error("all states must be reachable")
+			}
+			min, err := Minimize(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min.NumStates() != b.MinStates {
+				t.Errorf("%s minimized to %d states, want %d", b.Spec.Name, min.NumStates(), b.MinStates)
+			}
+		})
+	}
+}

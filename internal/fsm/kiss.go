@@ -1,0 +1,131 @@
+package fsm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"seqatpg/internal/logic"
+)
+
+// WriteKISS2 serializes the machine in the KISS2 exchange format used by
+// the MCNC benchmark suite and SIS.
+func WriteKISS2(w io.Writer, m *FSM) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", m.Name)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n.p %d\n.s %d\n.r %s\n",
+		m.NumInputs, m.NumOutputs, len(m.Trans), m.NumStates(), m.States[m.Reset])
+	for _, t := range m.Trans {
+		fmt.Fprintf(bw, "%s %s %s %s\n", t.Input, m.States[t.From], m.States[t.To], t.Output)
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// ReadKISS2 parses a KISS2 description. State names are interned in
+// order of first appearance unless a .s/.r header pins the reset state.
+func ReadKISS2(r io.Reader) (*FSM, error) {
+	m := &FSM{Reset: -1}
+	stateID := map[string]int{}
+	intern := func(name string) int {
+		if id, ok := stateID[name]; ok {
+			return id
+		}
+		id := len(m.States)
+		stateID[name] = id
+		m.States = append(m.States, name)
+		return id
+	}
+	var resetName string
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case ".i", ".o", ".p", ".s":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("kiss2 line %d: missing value for %s", line, fields[0])
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("kiss2 line %d: %v", line, err)
+			}
+			switch fields[0] {
+			case ".i":
+				m.NumInputs = n
+			case ".o":
+				m.NumOutputs = n
+			}
+			// .p and .s are advisory; actual counts come from the body.
+		case ".r":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("kiss2 line %d: missing reset state", line)
+			}
+			resetName = fields[1]
+		case ".e", ".end":
+			// terminator
+		default:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("kiss2 line %d: expected 4 fields, got %d", line, len(fields))
+			}
+			in, err := logic.ParseCube(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("kiss2 line %d: %v", line, err)
+			}
+			out, err := logic.ParseCube(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("kiss2 line %d: %v", line, err)
+			}
+			m.Trans = append(m.Trans, Transition{
+				Input:  in,
+				From:   intern(fields[1]),
+				To:     intern(fields[2]),
+				Output: out,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.States) == 0 {
+		return nil, fmt.Errorf("kiss2: no transitions")
+	}
+	if resetName != "" {
+		id, ok := stateID[resetName]
+		if !ok {
+			return nil, fmt.Errorf("kiss2: reset state %q never appears", resetName)
+		}
+		m.Reset = id
+	} else {
+		m.Reset = 0
+	}
+	return m, nil
+}
+
+// WriteDOT renders the state transition graph in Graphviz DOT format
+// for visualization: one node per state (reset state boxed), one edge
+// per transition labelled "input/output".
+func WriteDOT(w io.Writer, m *FSM) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", m.Name)
+	for i, name := range m.States {
+		shape := "ellipse"
+		if i == m.Reset {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "  %q [shape=%s];\n", name, shape)
+	}
+	for _, t := range m.Trans {
+		fmt.Fprintf(bw, "  %q -> %q [label=\"%s/%s\"];\n",
+			m.States[t.From], m.States[t.To], t.Input, t.Output)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package fsm
+
+import "fmt"
+
+// Minimize performs stamina-style state minimization for completely
+// specified deterministic machines: unreachable states are dropped and
+// equivalent states are merged by partition refinement. Two states are
+// equivalent when for every input minterm they emit the same output and
+// move to equivalent states; the check is performed symbolically on the
+// intersections of transition input cubes, so wide input spaces never
+// need enumeration.
+//
+// The returned machine has its states renumbered (block representatives,
+// reset block first is not guaranteed; Reset points at the right block).
+func Minimize(m *FSM) (*FSM, error) {
+	if !m.Complete() {
+		return nil, fmt.Errorf("fsm %s: minimization requires a completely specified machine", m.Name)
+	}
+	reach := m.Reachable()
+
+	// block[s] = current partition block of state s; start with one
+	// block for all reachable states.
+	n := m.NumStates()
+	block := make([]int, n)
+	for s := 0; s < n; s++ {
+		if !reach[s] {
+			block[s] = -1
+		}
+	}
+
+	trans := make(map[int][]int) // state -> transition indices
+	for i, t := range m.Trans {
+		trans[t.From] = append(trans[t.From], i)
+	}
+
+	// distinguishable reports whether s and t differ under the current
+	// partition: some shared input minterm yields different outputs or
+	// next-state blocks. With both machines complete, every minterm is
+	// covered by exactly one cube on each side, so checking every
+	// intersecting cube pair is exhaustive.
+	distinguishable := func(s, t int) bool {
+		for _, ia := range trans[s] {
+			ta := m.Trans[ia]
+			for _, ib := range trans[t] {
+				tb := m.Trans[ib]
+				if !ta.Input.Intersects(tb.Input) {
+					continue
+				}
+				if !ta.Output.Equal(tb.Output) {
+					return true
+				}
+				if block[ta.To] != block[tb.To] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for {
+		changed := false
+		// Group states by block, split each block by pairwise
+		// distinguishability (union-find inside the block).
+		byBlock := make(map[int][]int)
+		for s := 0; s < n; s++ {
+			if block[s] >= 0 {
+				byBlock[block[s]] = append(byBlock[block[s]], s)
+			}
+		}
+		nextBlock := 0
+		newBlock := make([]int, n)
+		for i := range newBlock {
+			newBlock[i] = -1
+		}
+		for _, members := range blocksInOrder(byBlock) {
+			// Greedy splitting: each member joins the first sub-block
+			// whose representative it is indistinguishable from.
+			var reps []int
+			for _, s := range members {
+				placed := false
+				for _, r := range reps {
+					if !distinguishable(s, r) {
+						newBlock[s] = newBlock[r]
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					newBlock[s] = nextBlock
+					nextBlock++
+					reps = append(reps, s)
+				}
+			}
+			if len(reps) > 1 {
+				changed = true
+			}
+		}
+		copy(block, newBlock)
+		if !changed {
+			break
+		}
+	}
+
+	// Build the quotient machine: one state per block, transitions from
+	// the block representative.
+	blockRep := map[int]int{}
+	var blockOrder []int
+	for s := 0; s < n; s++ {
+		if block[s] < 0 {
+			continue
+		}
+		if _, ok := blockRep[block[s]]; !ok {
+			blockRep[block[s]] = s
+			blockOrder = append(blockOrder, block[s])
+		}
+	}
+	newID := map[int]int{}
+	out := &FSM{Name: m.Name, NumInputs: m.NumInputs, NumOutputs: m.NumOutputs}
+	for _, b := range blockOrder {
+		newID[b] = len(out.States)
+		out.States = append(out.States, m.States[blockRep[b]])
+	}
+	out.Reset = newID[block[m.Reset]]
+	for _, b := range blockOrder {
+		rep := blockRep[b]
+		for _, i := range trans[rep] {
+			t := m.Trans[i]
+			out.Trans = append(out.Trans, Transition{
+				Input:  t.Input.Clone(),
+				From:   newID[b],
+				To:     newID[block[t.To]],
+				Output: t.Output.Clone(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// blocksInOrder returns the map's value slices in ascending key order so
+// refinement is deterministic run to run.
+func blocksInOrder(m map[int][]int) [][]int {
+	maxKey := -1
+	for k := range m {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	var out [][]int
+	for k := 0; k <= maxKey; k++ {
+		if v, ok := m[k]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package fsm
+
+// Benchmark is one entry of the synthetic benchmark suite standing in
+// for the paper's MCNC machines (Table 1). MinStates is the state count
+// after stamina-style minimization (footnote 2 of the paper: s820 and
+// s832 minimize to 24 states, scf to 94; the others are already
+// minimal).
+type Benchmark struct {
+	Spec      GenSpec
+	MinStates int
+}
+
+// Suite returns the six benchmark machines with the interface dimensions
+// and state counts of the paper's Table 1. Seeds are fixed so the whole
+// reproduction is deterministic.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Spec: GenSpec{Name: "dk16", Inputs: 3, Outputs: 3, States: 27, Redundant: 0, Seed: 1601}, MinStates: 27},
+		{Spec: GenSpec{Name: "pma", Inputs: 7, Outputs: 8, States: 24, Redundant: 0, Seed: 2402}, MinStates: 24},
+		{Spec: GenSpec{Name: "s510", Inputs: 20, Outputs: 7, States: 47, Redundant: 0, Seed: 5103}, MinStates: 47},
+		{Spec: GenSpec{Name: "s820", Inputs: 18, Outputs: 19, States: 25, Redundant: 1, Seed: 8204}, MinStates: 24},
+		{Spec: GenSpec{Name: "s832", Inputs: 18, Outputs: 19, States: 25, Redundant: 1, Seed: 8325}, MinStates: 24},
+		{Spec: GenSpec{Name: "scf", Inputs: 27, Outputs: 54, States: 121, Redundant: 27, Seed: 12106}, MinStates: 94},
+	}
+}
+
+// MustGenerate generates a benchmark machine, panicking on failure;
+// intended for the experiment drivers where the suite is known-good.
+func MustGenerate(spec GenSpec) *FSM {
+	m, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

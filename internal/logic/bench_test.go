@@ -1,0 +1,33 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMinimize measures espresso-style minimization on random
+// 10-variable, 40-cube covers.
+func BenchmarkMinimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	covers := make([]*Cover, 16)
+	for i := range covers {
+		covers[i] = randomCover(rng, 10, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Minimize(covers[i%len(covers)], nil)
+	}
+}
+
+// BenchmarkTautology measures the unate-recursion tautology check.
+func BenchmarkTautology(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	covers := make([]*Cover, 16)
+	for i := range covers {
+		covers[i] = randomCover(rng, 12, 60)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = covers[i%len(covers)].Tautology()
+	}
+}

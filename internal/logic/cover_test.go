@@ -1,0 +1,158 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCover(rng *rand.Rand, nvars, ncubes int) *Cover {
+	f := NewCover(nvars)
+	for i := 0; i < ncubes; i++ {
+		c := NewCube(nvars)
+		for j := 0; j < nvars; j++ {
+			c[j] = Value(rng.Intn(3))
+		}
+		f.Cubes = append(f.Cubes, c)
+	}
+	return f
+}
+
+func bruteEqual(f, g *Cover) bool {
+	n := f.NumVars
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		if f.Eval(m) != g.Eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTautologyBasics(t *testing.T) {
+	if !Universe(4).Tautology() {
+		t.Error("universe must be a tautology")
+	}
+	if NewCover(4).Tautology() {
+		t.Error("empty cover must not be a tautology")
+	}
+	f := MustParseCover(2, "1- 0-")
+	if !f.Tautology() {
+		t.Error("x + x' must be a tautology")
+	}
+	g := MustParseCover(2, "1- 00")
+	if g.Tautology() {
+		t.Error("x + x'y' is not a tautology")
+	}
+}
+
+func TestTautologyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		f := randomCover(rng, 5, 1+rng.Intn(8))
+		brute := true
+		for m := uint64(0); m < 32; m++ {
+			if !f.Eval(m) {
+				brute = false
+				break
+			}
+		}
+		if got := f.Tautology(); got != brute {
+			t.Fatalf("Tautology mismatch on\n%s\ngot %v want %v", f, got, brute)
+		}
+	}
+}
+
+func TestComplementMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		f := randomCover(rng, 5, rng.Intn(7))
+		g := f.Complement()
+		for m := uint64(0); m < 32; m++ {
+			if f.Eval(m) == g.Eval(m) {
+				t.Fatalf("complement agrees with function at %05b\nf:\n%s\ng:\n%s", m, f, g)
+			}
+		}
+	}
+}
+
+func TestAndOrSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		f := randomCover(rng, 5, 1+rng.Intn(5))
+		g := randomCover(rng, 5, 1+rng.Intn(5))
+		and := f.And(g)
+		or := f.Or(g)
+		for m := uint64(0); m < 32; m++ {
+			if and.Eval(m) != (f.Eval(m) && g.Eval(m)) {
+				t.Fatal("And semantics broken")
+			}
+			if or.Eval(m) != (f.Eval(m) || g.Eval(m)) {
+				t.Fatal("Or semantics broken")
+			}
+		}
+	}
+}
+
+func TestCoversCube(t *testing.T) {
+	f := MustParseCover(3, "1-- -1-")
+	if !f.Covers(MustParseCube("11-")) {
+		t.Error("f should cover 11-")
+	}
+	if f.Covers(MustParseCube("00-")) {
+		t.Error("f should not cover 00-")
+	}
+	// Covering that needs the union of two cubes.
+	g := MustParseCover(2, "1- 01")
+	if !g.Covers(MustParseCube("-1")) {
+		t.Error("g should cover -1 via union")
+	}
+}
+
+func TestSingleCubeContain(t *testing.T) {
+	f := MustParseCover(3, "1-- 10- 101 0-0")
+	f.SingleCubeContain()
+	if len(f.Cubes) != 2 {
+		t.Errorf("expected 2 cubes after containment, got %d:\n%s", len(f.Cubes), f)
+	}
+}
+
+func TestCountMintermsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		f := randomCover(rng, 6, rng.Intn(6))
+		var brute uint64
+		for m := uint64(0); m < 64; m++ {
+			if f.Eval(m) {
+				brute++
+			}
+		}
+		if got := f.CountMinterms(); got != brute {
+			t.Fatalf("CountMinterms = %d, brute = %d for\n%s", got, brute, f)
+		}
+	}
+}
+
+func TestCofactorShannon(t *testing.T) {
+	// Shannon expansion must reconstruct the function.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCover(rng, 5, 1+rng.Intn(6))
+		v := rng.Intn(5)
+		c0, c1 := g.Cofactor(v, Zero), g.Cofactor(v, One)
+		for m := uint64(0); m < 32; m++ {
+			var half *Cover
+			if (m>>uint(v))&1 == 1 {
+				half = c1
+			} else {
+				half = c0
+			}
+			if g.Eval(m) != half.Eval(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

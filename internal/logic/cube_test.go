@@ -1,0 +1,141 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCubeRoundTrip(t *testing.T) {
+	cases := []string{"01-", "----", "1", "0", "10-1-0"}
+	for _, s := range cases {
+		c, err := ParseCube(s)
+		if err != nil {
+			t.Fatalf("ParseCube(%q): %v", s, err)
+		}
+		if got := c.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseCubeRejectsGarbage(t *testing.T) {
+	if _, err := ParseCube("01a"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"1--", "10-", true},
+		{"10-", "1--", false},
+		{"---", "010", true},
+		{"010", "010", true},
+		{"01-", "00-", false},
+	}
+	for _, tc := range tests {
+		a, b := MustParseCube(tc.a), MustParseCube(tc.b)
+		if got := a.Contains(b); got != tc.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCubeDistanceAndIntersect(t *testing.T) {
+	a := MustParseCube("10-")
+	b := MustParseCube("11-")
+	if d := a.Distance(b); d != 1 {
+		t.Errorf("distance = %d, want 1", d)
+	}
+	if _, ok := a.Intersect(b); ok {
+		t.Error("disjoint cubes reported as intersecting")
+	}
+	c := MustParseCube("1--")
+	p, ok := a.Intersect(c)
+	if !ok || p.String() != "10-" {
+		t.Errorf("intersect = %v,%v want 10-", p, ok)
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	a := MustParseCube("101")
+	b := MustParseCube("001")
+	if got := a.Supercube(b).String(); got != "-01" {
+		t.Errorf("supercube = %s, want -01", got)
+	}
+}
+
+func TestCofactorCube(t *testing.T) {
+	c := MustParseCube("10-")
+	cf, ok := c.Cofactor(0, One)
+	if !ok || cf.String() != "-0-" {
+		t.Errorf("cofactor = %v,%v", cf, ok)
+	}
+	if _, ok := c.Cofactor(0, Zero); ok {
+		t.Error("cofactor against opposing literal should be empty")
+	}
+}
+
+func TestEvalBits(t *testing.T) {
+	c := MustParseCube("1-0")
+	// var0=1, var2=0 required.
+	if !c.EvalBits(0b001) {
+		t.Error("0b001 should satisfy 1-0")
+	}
+	if c.EvalBits(0b100) {
+		t.Error("0b100 should not satisfy 1-0")
+	}
+	if !c.EvalBits(0b011) {
+		t.Error("0b011 should satisfy 1-0")
+	}
+}
+
+func TestCountMinterms(t *testing.T) {
+	if n := MustParseCube("1--").CountMinterms(); n != 4 {
+		t.Errorf("minterms = %d, want 4", n)
+	}
+	if n := MustParseCube("101").CountMinterms(); n != 1 {
+		t.Errorf("minterms = %d, want 1", n)
+	}
+}
+
+// Property: supercube always contains both inputs.
+func TestSupercubeContainsBoth(t *testing.T) {
+	f := func(av, bv [6]byte) bool {
+		a, b := make(Cube, 6), make(Cube, 6)
+		for i := 0; i < 6; i++ {
+			a[i] = Value(av[i] % 3)
+			b[i] = Value(bv[i] % 3)
+		}
+		s := a.Supercube(b)
+		return s.Contains(a) && s.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance 0 iff a shared minterm exists (checked by brute
+// force over all assignments of 6 variables).
+func TestDistanceZeroMeansSharedMinterm(t *testing.T) {
+	f := func(av, bv [6]byte) bool {
+		a, b := make(Cube, 6), make(Cube, 6)
+		for i := 0; i < 6; i++ {
+			a[i] = Value(av[i] % 3)
+			b[i] = Value(bv[i] % 3)
+		}
+		shared := false
+		for m := uint64(0); m < 64; m++ {
+			if a.EvalBits(m) && b.EvalBits(m) {
+				shared = true
+				break
+			}
+		}
+		return shared == a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

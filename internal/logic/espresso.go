@@ -1,0 +1,178 @@
+package logic
+
+import "sort"
+
+// Minimize runs an espresso-style heuristic two-level minimization of
+// the ON-set on against the don't-care set dc (dc may be nil). It
+// returns a cover equivalent to on over the care space: the result
+// covers every ON minterm, never intersects the OFF-set, and may absorb
+// DC minterms. The loop is the classic EXPAND → IRREDUNDANT → REDUCE
+// iteration, stopping when the cost (cubes, then literals) no longer
+// improves.
+func Minimize(on, dc *Cover) *Cover {
+	if on == nil {
+		panic("logic: Minimize with nil ON-set")
+	}
+	if dc == nil {
+		dc = NewCover(on.NumVars)
+	}
+	if len(on.Cubes) == 0 {
+		return NewCover(on.NumVars)
+	}
+	// care = ON ∪ DC is the region any expanded cube must stay inside.
+	// Working with containment against care avoids ever computing the
+	// OFF-set complement, which can blow up at the variable counts the
+	// synthesis flow reaches (≈35 variables for the scf benchmark).
+	care := on.Or(dc)
+
+	f := on.Clone()
+	f.SingleCubeContain()
+	expand(f, care)
+	irredundant(f, dc)
+
+	bestCubes, bestLits := len(f.Cubes), f.Literals()
+	for iter := 0; iter < 12; iter++ {
+		reduce(f, dc)
+		expand(f, care)
+		irredundant(f, dc)
+		c, l := len(f.Cubes), f.Literals()
+		if c > bestCubes || (c == bestCubes && l >= bestLits) {
+			break
+		}
+		bestCubes, bestLits = c, l
+	}
+	return f
+}
+
+// expand raises literals of each cube to Dash as long as the expanded
+// cube stays inside the care region (ON ∪ DC), then drops cubes that
+// became covered by a single other cube.
+func expand(f *Cover, care *Cover) {
+	// Process cubes with many literals first: they have the most to gain.
+	sort.SliceStable(f.Cubes, func(i, j int) bool {
+		return f.Cubes[i].Literals() > f.Cubes[j].Literals()
+	})
+	for _, c := range f.Cubes {
+		expandCube(c, care)
+	}
+	f.SingleCubeContain()
+}
+
+// expandCube raises literals of c one at a time; a raise is legal when
+// the raised cube is still covered by the care region. Raising one
+// literal can unlock or block another, so the scan repeats until no
+// literal can be raised.
+func expandCube(c Cube, care *Cover) {
+	for {
+		raisedAny := false
+		for i, val := range c {
+			if val == Dash {
+				continue
+			}
+			saved := c[i]
+			c[i] = Dash
+			if care.Covers(c) {
+				raisedAny = true
+			} else {
+				c[i] = saved
+			}
+		}
+		if !raisedAny {
+			return
+		}
+	}
+}
+
+// irredundant removes cubes that are covered by the union of the other
+// cubes and the DC set, scanning largest cubes last so essential small
+// cubes survive.
+func irredundant(f *Cover, dc *Cover) {
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.Cubes[order[a]].Literals() > f.Cubes[order[b]].Literals()
+	})
+	removed := make([]bool, len(f.Cubes))
+	for _, idx := range order {
+		rest := NewCover(f.NumVars)
+		for j, c := range f.Cubes {
+			if j != idx && !removed[j] {
+				rest.Cubes = append(rest.Cubes, c)
+			}
+		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		if rest.Covers(f.Cubes[idx]) {
+			removed[idx] = true
+		}
+	}
+	kept := f.Cubes[:0]
+	for j, c := range f.Cubes {
+		if !removed[j] {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// reduce shrinks each cube to the supercube of the part of it not
+// covered by the rest of the cover plus the DC set, opening room for a
+// different EXPAND direction on the next pass.
+func reduce(f *Cover, dc *Cover) {
+	for idx := range f.Cubes {
+		c := f.Cubes[idx]
+		rest := NewCover(f.NumVars)
+		for j, d := range f.Cubes {
+			if j != idx {
+				rest.Cubes = append(rest.Cubes, d)
+			}
+		}
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		// Part of c not covered by rest: sharp c against each cube.
+		frontier := []Cube{c.Clone()}
+		for _, r := range rest.Cubes {
+			var next []Cube
+			for _, q := range frontier {
+				next = append(next, sharpCube(q, r)...)
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				break
+			}
+		}
+		if len(frontier) == 0 {
+			continue // fully redundant; IRREDUNDANT will take it
+		}
+		sc := frontier[0]
+		for _, q := range frontier[1:] {
+			sc = sc.Supercube(q)
+		}
+		if shrunk, ok := c.Intersect(sc); ok {
+			f.Cubes[idx] = shrunk
+		}
+	}
+}
+
+// Equivalent reports whether covers f and g implement the same function
+// modulo the don't-care set dc: they must agree on every minterm
+// outside dc. dc may be nil.
+func Equivalent(f, g, dc *Cover) bool {
+	if dc == nil {
+		dc = NewCover(f.NumVars)
+	}
+	// f ⊆ g ∪ dc and g ⊆ f ∪ dc.
+	gd := g.Or(dc)
+	for _, c := range f.Cubes {
+		if !gd.Covers(c) {
+			return false
+		}
+	}
+	fd := f.Or(dc)
+	for _, c := range g.Cubes {
+		if !fd.Covers(c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package logic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const samplePLA = `# adder carry
+.i 3
+.o 2
+.p 4
+11- 10
+1-1 10
+-11 10
+111 01
+.e
+`
+
+func TestReadPLA(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInputs != 3 || p.NumOutputs != 2 || len(p.Rows) != 4 {
+		t.Fatalf("shape: %+v", p)
+	}
+	on0 := p.OnSet(0)
+	if len(on0.Cubes) != 3 {
+		t.Errorf("output 0 ON-set has %d cubes, want 3", len(on0.Cubes))
+	}
+	on1 := p.OnSet(1)
+	if len(on1.Cubes) != 1 {
+		t.Errorf("output 1 ON-set has %d cubes, want 1", len(on1.Cubes))
+	}
+}
+
+func TestPLARoundTrip(t *testing.T) {
+	p, err := ReadPLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePLA(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPLA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumInputs != p.NumInputs || back.NumOutputs != p.NumOutputs || len(back.Rows) != len(p.Rows) {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range p.Rows {
+		if !p.Rows[i].Input.Equal(back.Rows[i].Input) || !p.Rows[i].Output.Equal(back.Rows[i].Output) {
+			t.Fatalf("row %d changed", i)
+		}
+	}
+}
+
+func TestReadPLAErrors(t *testing.T) {
+	cases := []string{
+		"11- 10",            // cube before headers
+		".i 2\n.o 1\n11- 1", // wrong input width
+		".i 3\n.o 2\n11- 1", // wrong output width
+		".i 3\n.o 1\n11z 1", // bad input char
+		".i 3\n.o 1\n11- x", // bad output char
+		".i x\n.o 1\n",      // bad header
+	}
+	for _, s := range cases {
+		if _, err := ReadPLA(strings.NewReader(s)); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestReadPLADontCareOutputs(t *testing.T) {
+	src := ".i 2\n.o 1\n11 1\n00 -\n.e\n"
+	p, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := p.DCSet(0)
+	if len(dc.Cubes) != 1 || dc.Cubes[0].String() != "00" {
+		t.Errorf("DC set wrong: %v", dc)
+	}
+}
+
+func TestMinimizePLA(t *testing.T) {
+	// f0 = minterms of a + b over 2 vars, expressed redundantly.
+	src := ".i 2\n.o 1\n01 1\n10 1\n11 1\n.e\n"
+	p, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimizePLA(p)
+	if len(min.Rows) != 2 {
+		t.Errorf("minimized to %d rows, want 2 (a + b)", len(min.Rows))
+	}
+	// Function preserved.
+	want := p.OnSet(0)
+	got := min.OnSet(0)
+	if !Equivalent(want, got, nil) {
+		t.Error("minimization changed the function")
+	}
+}
+
+func TestMinimizePLAWithDC(t *testing.T) {
+	// Single ON minterm, DC covering a neighbour: one literal suffices.
+	src := ".i 2\n.o 1\n11 1\n10 -\n.e\n"
+	p, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimizePLA(p)
+	if len(min.Rows) != 1 || min.Rows[0].Input.Literals() != 1 {
+		t.Errorf("DC not exploited: %v", min.Rows)
+	}
+}

@@ -1,0 +1,200 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBench serializes the circuit in the ISCAS89 .bench format, the
+// lingua franca of the 1990s test-generation literature. The reset
+// line, which .bench does not model, is recorded in a comment header
+// that ReadBench understands ("# reset: <name>"). Constant gates are
+// expressed as XOR/XNOR of a primary input with itself.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	names := benchNames(c)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	if c.ResetPI >= 0 {
+		fmt.Fprintf(bw, "# reset: %s\n", names[c.ResetPI])
+	}
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", names[id])
+	}
+	for _, id := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", names[id])
+	}
+	constSrc := ""
+	if len(c.PIs) > 0 {
+		constSrc = names[c.PIs[0]]
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case Input:
+			continue
+		case Output:
+			fmt.Fprintf(bw, "%s = BUFF(%s)\n", names[id], names[g.Fanin[0]])
+		case Const0, Const1:
+			if constSrc == "" {
+				return fmt.Errorf("netlist: cannot express constants in .bench without a primary input")
+			}
+			op := "XOR"
+			if g.Type == Const1 {
+				op = "XNOR"
+			}
+			fmt.Fprintf(bw, "%s = %s(%s, %s)\n", names[id], op, constSrc, constSrc)
+		default:
+			op := map[GateType]string{
+				Buf: "BUFF", Not: "NOT", And: "AND", Or: "OR",
+				Nand: "NAND", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", DFF: "DFF",
+			}[g.Type]
+			args := make([]string, len(g.Fanin))
+			for i, f := range g.Fanin {
+				args[i] = names[f]
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", names[id], op, strings.Join(args, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// benchNames produces unique .bench identifiers for every gate.
+func benchNames(c *Circuit) []string {
+	names := make([]string, len(c.Gates))
+	used := map[string]bool{}
+	for id, g := range c.Gates {
+		base := g.Name
+		if base == "" {
+			base = fmt.Sprintf("n%d", id)
+		}
+		base = strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				return r
+			default:
+				return '_'
+			}
+		}, base)
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[name] = true
+		names[id] = name
+	}
+	return names
+}
+
+// ReadBench parses an ISCAS89 .bench description. DFFs are supported;
+// a "# reset: <name>" comment (as emitted by WriteBench) restores the
+// reset line.
+func ReadBench(r io.Reader) (*Circuit, error) {
+	type rawGate struct {
+		op   string
+		args []string
+	}
+	defs := map[string]rawGate{}
+	var inputs, outputs []string
+	var defOrder []string
+	resetName := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# reset:"); ok {
+				resetName = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "INPUT(") && strings.HasSuffix(text, ")"):
+			inputs = append(inputs, strings.TrimSuffix(strings.TrimPrefix(text, "INPUT("), ")"))
+		case strings.HasPrefix(text, "OUTPUT(") && strings.HasSuffix(text, ")"):
+			outputs = append(outputs, strings.TrimSuffix(strings.TrimPrefix(text, "OUTPUT("), ")"))
+		default:
+			name, rhs, ok := strings.Cut(text, "=")
+			if !ok {
+				return nil, fmt.Errorf("bench line %d: expected assignment", line)
+			}
+			name = strings.TrimSpace(name)
+			rhs = strings.TrimSpace(rhs)
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("bench line %d: malformed gate %q", line, rhs)
+			}
+			op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+			if _, dup := defs[name]; dup {
+				return nil, fmt.Errorf("bench line %d: %s defined twice", line, name)
+			}
+			defs[name] = rawGate{op, args}
+			defOrder = append(defOrder, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	typeOf := map[string]GateType{
+		"BUFF": Buf, "BUF": Buf, "NOT": Not, "AND": And, "OR": Or,
+		"NAND": Nand, "NOR": Nor, "XOR": Xor, "XNOR": Xnor, "DFF": DFF,
+	}
+	c := New("bench")
+	ids := map[string]int{}
+	for _, n := range inputs {
+		ids[n] = c.AddGate(Input, n)
+	}
+	// Signals referenced but never defined and not inputs are an error;
+	// collect definitions first (two passes because .bench allows use
+	// before definition).
+	for _, n := range defOrder {
+		g := defs[n]
+		t, ok := typeOf[g.op]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown operation %q", g.op)
+		}
+		ids[n] = c.AddGate(t, n)
+	}
+	for _, n := range defOrder {
+		g := defs[n]
+		fanin := make([]int, len(g.args))
+		for i, a := range g.args {
+			id, ok := ids[a]
+			if !ok {
+				return nil, fmt.Errorf("bench: signal %q used but never defined", a)
+			}
+			fanin[i] = id
+		}
+		c.Gates[ids[n]].Fanin = fanin
+	}
+	// OUTPUT() lines become Output gates observing the named signal;
+	// deterministic order as listed.
+	for _, n := range outputs {
+		id, ok := ids[n]
+		if !ok {
+			return nil, fmt.Errorf("bench: output %q never defined", n)
+		}
+		c.AddGate(Output, n+"_po", id)
+	}
+	if resetName != "" {
+		id, ok := ids[resetName]
+		if !ok || c.Gates[id].Type != Input {
+			return nil, fmt.Errorf("bench: reset %q is not an input", resetName)
+		}
+		c.ResetPI = id
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,114 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the circuit in the project's plain-text netlist
+// exchange format:
+//
+//	.name <circuit name>
+//	.reset <gate id | -1>
+//	<id> <TYPE> <name> [fanin ids...]
+//	.end
+//
+// Gate ids are the slice indices, so the file round-trips exactly.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".name %s\n", c.Name)
+	fmt.Fprintf(bw, ".reset %d\n", c.ResetPI)
+	for id, g := range c.Gates {
+		name := g.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Fprintf(bw, "%d %s %s", id, g.Type, name)
+		for _, f := range g.Fanin {
+			fmt.Fprintf(bw, " %d", f)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+var typeByName = func() map[string]GateType {
+	m := map[string]GateType{}
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// Read parses the exchange format written by Write and validates the
+// result.
+func Read(r io.Reader) (*Circuit, error) {
+	c := New("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case ".name":
+			if len(fields) > 1 {
+				c.Name = fields[1]
+			}
+		case ".reset":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("netlist line %d: missing reset id", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: %v", line, err)
+			}
+			c.ResetPI = id
+		case ".end":
+			// terminator
+		default:
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netlist line %d: want 'id TYPE name [fanins...]'", line)
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: %v", line, err)
+			}
+			if id != len(c.Gates) {
+				return nil, fmt.Errorf("netlist line %d: gate id %d out of order (want %d)", line, id, len(c.Gates))
+			}
+			t, ok := typeByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("netlist line %d: unknown gate type %q", line, fields[1])
+			}
+			name := fields[2]
+			if name == "-" {
+				name = ""
+			}
+			fanin := make([]int, 0, len(fields)-3)
+			for _, f := range fields[3:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("netlist line %d: %v", line, err)
+				}
+				fanin = append(fanin, v)
+			}
+			c.AddGate(t, name, fanin...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

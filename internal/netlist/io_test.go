@@ -1,0 +1,145 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("sample")
+	reset := c.AddGate(Input, "reset")
+	c.ResetPI = reset
+	in := c.AddGate(Input, "in")
+	ff := c.AddGate(DFF, "q", 0)
+	x := c.AddGate(Xor, "x", in, ff)
+	nr := c.AddGate(Not, "nr", reset)
+	d := c.AddGate(And, "d", nr, x)
+	c.Gates[ff].Fanin[0] = d
+	c.AddGate(Output, "out", ff)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNetlistRoundTrip(t *testing.T) {
+	c := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != c.Name || back.ResetPI != c.ResetPI {
+		t.Errorf("header lost: %q reset=%d", back.Name, back.ResetPI)
+	}
+	if len(back.Gates) != len(c.Gates) {
+		t.Fatalf("gate count changed: %d vs %d", len(back.Gates), len(c.Gates))
+	}
+	for id := range c.Gates {
+		a, b := c.Gates[id], back.Gates[id]
+		if a.Type != b.Type || a.Name != b.Name || len(a.Fanin) != len(b.Fanin) {
+			t.Fatalf("gate %d changed: %+v vs %+v", id, a, b)
+		}
+		for k := range a.Fanin {
+			if a.Fanin[k] != b.Fanin[k] {
+				t.Fatalf("gate %d fanin changed", id)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"0 FROB x",             // unknown type
+		"5 INPUT x",            // out-of-order id
+		"0 INPUT x\n1 NOT y 9", // dangling fanin (Validate)
+		".reset notanumber",    // bad reset
+		"0 NOT x 0",            // self-loop comb cycle
+	}
+	for _, s := range cases {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestBenchRoundTripBehaviour(t *testing.T) {
+	c := sample(t)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"INPUT(reset)", "INPUT(in)", "OUTPUT(out)", "= DFF(", "# reset: reset"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("bench output missing %q:\n%s", want, text)
+		}
+	}
+	back, err := ReadBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PIs) != len(c.PIs) || len(back.POs) != len(c.POs) || back.NumDFFs() != c.NumDFFs() {
+		t.Fatalf("interface changed: %d PIs %d POs %d DFFs", len(back.PIs), len(back.POs), back.NumDFFs())
+	}
+	if back.ResetPI < 0 {
+		t.Error("reset annotation lost")
+	}
+}
+
+func TestReadBenchClassicSample(t *testing.T) {
+	// A fragment in classic ISCAS89 style (use-before-define included).
+	src := `
+# s27-like fragment
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G10 = DFF(G14)
+G14 = NAND(G0, G10)
+G17 = NOT(G14)
+G99 = BUFF(G1)
+OUTPUT(G99)
+`
+	c, err := ReadBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 2 || len(c.POs) != 2 || c.NumDFFs() != 1 {
+		t.Fatalf("shape: %d PIs %d POs %d DFFs", len(c.PIs), len(c.POs), c.NumDFFs())
+	}
+}
+
+func TestReadBenchErrors(t *testing.T) {
+	cases := []string{
+		"G1 = NOT(G0)",                                     // G0 undefined
+		"INPUT(G0)\nG1 = FROB(G0)",                         // unknown op
+		"INPUT(G0)\nG1 = NOT(G0)\nG1 = NOT(G0)",            // duplicate def
+		"INPUT(G0)\nOUTPUT(G9)",                            // undefined output
+		"INPUT(G0)\n# reset: G9\nG1 = NOT(G0)\nOUTPUT(G1)", // bad reset
+		"INPUT(G0)\nG1 = NOT G0",                           // malformed
+	}
+	for _, s := range cases {
+		if _, err := ReadBench(strings.NewReader(s)); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestBenchNameCollisions(t *testing.T) {
+	c := New("dup")
+	a := c.AddGate(Input, "sig")
+	b := c.AddGate(Not, "sig", a) // same name
+	c.AddGate(Output, "sig", b)   // and again
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBench(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("collision handling broke round trip: %v\n%s", err, buf.String())
+	}
+}

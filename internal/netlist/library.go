@@ -1,0 +1,73 @@
+package netlist
+
+// Library carries per-gate area and delay data in the style of a
+// genlib file. The default library mirrors the relative area/delay
+// ratios of the mcnc.genlib subset the paper's circuits were mapped
+// onto (inverter-normalized units).
+type Library struct {
+	name    string
+	area    map[GateType][]float64 // indexed by fanin count
+	delay   map[GateType][]float64
+	defArea float64
+	defDly  float64
+}
+
+// DefaultLibrary returns the built-in mcnc-like library.
+func DefaultLibrary() *Library {
+	// Index k holds the value for fanin count k (index 0 unused for
+	// multi-input gates).
+	return &Library{
+		name: "mcnc-like",
+		area: map[GateType][]float64{
+			Not:    {0, 1},
+			Buf:    {0, 1.5},
+			Nand:   {0, 0, 2, 3, 4},
+			Nor:    {0, 0, 2, 3, 4},
+			And:    {0, 0, 3, 4, 5},
+			Or:     {0, 0, 3, 4, 5},
+			Xor:    {0, 0, 5},
+			Xnor:   {0, 0, 5},
+			DFF:    {0, 6},
+			Input:  {0.0},
+			Output: {0, 0},
+			Const0: {0.0},
+			Const1: {0.0},
+		},
+		delay: map[GateType][]float64{
+			Not:    {0, 1.0},
+			Buf:    {0, 1.2},
+			Nand:   {0, 0, 1.2, 1.6, 2.0},
+			Nor:    {0, 0, 1.4, 2.0, 2.6},
+			And:    {0, 0, 1.8, 2.2, 2.6},
+			Or:     {0, 0, 2.0, 2.6, 3.2},
+			Xor:    {0, 0, 2.4},
+			Xnor:   {0, 0, 2.4},
+			DFF:    {0, 2.0},
+			Input:  {0.0},
+			Output: {0, 0},
+			Const0: {0.0},
+			Const1: {0.0},
+		},
+		defArea: 3,
+		defDly:  2,
+	}
+}
+
+// Name returns the library name.
+func (l *Library) Name() string { return l.name }
+
+// Area returns the cell area of a gate type at a fanin count.
+func (l *Library) Area(t GateType, fanin int) float64 {
+	if row, ok := l.area[t]; ok && fanin < len(row) {
+		return row[fanin]
+	}
+	return l.defArea
+}
+
+// Delay returns the pin-to-pin delay of a gate type at a fanin count.
+func (l *Library) Delay(t GateType, fanin int) float64 {
+	if row, ok := l.delay[t]; ok && fanin < len(row) {
+		return row[fanin]
+	}
+	return l.defDly
+}

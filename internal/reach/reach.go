@@ -1,0 +1,307 @@
+// Package reach computes the valid-state set of a gate-level sequential
+// circuit by symbolic (BDD-based) reachability over its next-state
+// functions, and from it the paper's key attribute: the density of
+// encoding, the fraction of the 2^#DFF possible states that are valid.
+// It plays the role SIS extract_seq_dc played in the original study.
+package reach
+
+import (
+	"fmt"
+	"math"
+
+	"seqatpg/internal/bdd"
+	"seqatpg/internal/netlist"
+)
+
+// Analysis is the result of a reachability run — the Table 6/7 columns.
+type Analysis struct {
+	NumDFFs     int
+	ValidStates float64
+	TotalStates float64
+	Density     float64
+	// Set is the BDD of the valid-state set over the state variables,
+	// usable for membership queries via Contains.
+	set     bdd.Ref
+	mgr     *bdd.Manager
+	c       *netlist.Circuit
+	nextFns []bdd.Ref
+}
+
+// Options tunes the traversal.
+type Options struct {
+	// FlushCycles is the number of initial cycles with the reset line
+	// forced to 1, starting from the full universe of states (the
+	// power-up state is unknown). One cycle suffices for non-retimed
+	// circuits; retimed circuits need their flush prefix. Values < 1
+	// are treated as 1.
+	FlushCycles int
+	// MaxNodes aborts the analysis when the BDD grows past this bound
+	// (0 means the default).
+	MaxNodes int
+}
+
+const defaultMaxNodes = 4_000_000
+
+// Analyze computes the valid-state set: states reachable from the
+// post-flush state set under all input sequences.
+func Analyze(c *netlist.Circuit, opt Options) (*Analysis, error) {
+	if c.ResetPI < 0 {
+		return nil, fmt.Errorf("reach: circuit %s has no reset line", c.Name)
+	}
+	if opt.FlushCycles < 1 {
+		opt.FlushCycles = 1
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = defaultMaxNodes
+	}
+	nb := len(c.DFFs)
+	ni := len(c.PIs)
+	// Variable order: state bits first, then inputs.
+	m := bdd.New(nb + ni)
+	stateVar := func(i int) bdd.Ref { return m.Var(i) }
+	inputVarIdx := func(i int) int { return nb + i }
+
+	// Build next-state functions over (state, input) variables.
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]bdd.Ref, len(c.Gates))
+	piIdx := map[int]int{}
+	for i, id := range c.PIs {
+		piIdx[id] = i
+	}
+	dffIdx := map[int]int{}
+	for i, id := range c.DFFs {
+		dffIdx[id] = i
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			val[id] = m.Var(inputVarIdx(piIdx[id]))
+		case netlist.DFF:
+			val[id] = stateVar(dffIdx[id])
+		case netlist.Const0:
+			val[id] = bdd.False
+		case netlist.Const1:
+			val[id] = bdd.True
+		case netlist.Buf, netlist.Output:
+			val[id] = val[g.Fanin[0]]
+		case netlist.Not:
+			val[id] = m.Not(val[g.Fanin[0]])
+		case netlist.And, netlist.Nand:
+			acc := bdd.True
+			for _, f := range g.Fanin {
+				acc = m.And(acc, val[f])
+			}
+			if g.Type == netlist.Nand {
+				acc = m.Not(acc)
+			}
+			val[id] = acc
+		case netlist.Or, netlist.Nor:
+			acc := bdd.False
+			for _, f := range g.Fanin {
+				acc = m.Or(acc, val[f])
+			}
+			if g.Type == netlist.Nor {
+				acc = m.Not(acc)
+			}
+			val[id] = acc
+		case netlist.Xor, netlist.Xnor:
+			acc := bdd.False
+			for _, f := range g.Fanin {
+				acc = m.Xor(acc, val[f])
+			}
+			if g.Type == netlist.Xnor {
+				acc = m.Not(acc)
+			}
+			val[id] = acc
+		default:
+			return nil, fmt.Errorf("reach: unsupported gate type %v", g.Type)
+		}
+		if m.Size() > opt.MaxNodes {
+			return nil, fmt.Errorf("reach: BDD blew up building logic for %s (>%d nodes)", c.Name, opt.MaxNodes)
+		}
+	}
+	next := make([]bdd.Ref, nb)
+	for i, id := range c.DFFs {
+		next[i] = val[c.Gates[id].Fanin[0]]
+	}
+	resetVarIdx := inputVarIdx(piIdx[c.ResetPI])
+
+	img := newImager(m, next, nb, opt.MaxNodes)
+
+	// Flush phase: reset forced to 1, other inputs free, from universe.
+	flushNext := make([]bdd.Ref, nb)
+	for i, f := range next {
+		flushNext[i] = m.Restrict(f, resetVarIdx, true)
+	}
+	flushImg := newImager(m, flushNext, nb, opt.MaxNodes)
+	set := bdd.True
+	for k := 0; k < opt.FlushCycles; k++ {
+		var err error
+		set, err = flushImg.image(set)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fixpoint phase: all inputs (including reset) free.
+	reached := set
+	frontier := set
+	for frontier != bdd.False {
+		nxt, err := img.image(frontier)
+		if err != nil {
+			return nil, err
+		}
+		newStates := m.And(nxt, m.Not(reached))
+		reached = m.Or(reached, nxt)
+		frontier = newStates
+		if m.Size() > opt.MaxNodes {
+			return nil, fmt.Errorf("reach: BDD blew up during traversal of %s", c.Name)
+		}
+	}
+
+	valid := m.SatCount(reached, nb)
+	total := math.Pow(2, float64(nb))
+	return &Analysis{
+		NumDFFs:     nb,
+		ValidStates: valid,
+		TotalStates: total,
+		Density:     valid / total,
+		set:         reached,
+		mgr:         m,
+		c:           c,
+		nextFns:     next,
+	}, nil
+}
+
+// Contains reports whether the packed state (bit i = DFF i) is valid.
+func (a *Analysis) Contains(state uint64) bool {
+	assign := make([]bool, a.mgr.NumVars())
+	for i := 0; i < a.NumDFFs; i++ {
+		assign[i] = (state>>uint(i))&1 == 1
+	}
+	return a.mgr.Eval(a.set, assign)
+}
+
+// imager computes images of state sets under a next-state function
+// vector, existentially quantifying current state and inputs via
+// recursive output splitting.
+type imager struct {
+	m        *bdd.Manager
+	next     []bdd.Ref
+	nb       int
+	maxNodes int
+	memo     map[memoKey]bdd.Ref
+}
+
+type memoKey struct {
+	depth int
+	set   bdd.Ref
+}
+
+func newImager(m *bdd.Manager, next []bdd.Ref, nb, maxNodes int) *imager {
+	return &imager{m: m, next: next, nb: nb, maxNodes: maxNodes, memo: map[memoKey]bdd.Ref{}}
+}
+
+// image returns the set of next states (over state variables) reachable
+// in one step from any (state ∈ set, any input).
+func (im *imager) image(set bdd.Ref) (bdd.Ref, error) {
+	return im.rec(set, 0)
+}
+
+func (im *imager) rec(constraint bdd.Ref, depth int) (bdd.Ref, error) {
+	if constraint == bdd.False {
+		return bdd.False, nil
+	}
+	if depth == im.nb {
+		return bdd.True, nil
+	}
+	if im.m.Size() > im.maxNodes {
+		return bdd.False, fmt.Errorf("reach: image computation exceeded %d nodes", im.maxNodes)
+	}
+	key := memoKey{depth, constraint}
+	if r, ok := im.memo[key]; ok {
+		return r, nil
+	}
+	f := im.next[depth]
+	on := im.m.And(constraint, f)
+	off := im.m.And(constraint, im.m.Not(f))
+	hi, err := im.rec(on, depth+1)
+	if err != nil {
+		return bdd.False, err
+	}
+	lo, err := im.rec(off, depth+1)
+	if err != nil {
+		return bdd.False, err
+	}
+	v := im.m.Var(depth)
+	out := im.m.Or(im.m.And(v, hi), im.m.And(im.m.Not(v), lo))
+	im.memo[key] = out
+	return out, nil
+}
+
+// StateGraph enumerates the valid states and their successor relation:
+// adjacency[s] lists the packed states reachable from s in one step
+// under some input. The enumeration is capped at maxStates valid states
+// (an error is returned beyond that); inputs are quantified
+// symbolically, so wide input spaces cost nothing extra.
+func (a *Analysis) StateGraph(maxStates int) (states []uint64, adjacency map[uint64][]uint64, err error) {
+	if a.ValidStates > float64(maxStates) {
+		return nil, nil, fmt.Errorf("reach: %v valid states exceed the %d cap", a.ValidStates, maxStates)
+	}
+	nb := a.NumDFFs
+	// Enumerate the valid states by walking the BDD's satisfying
+	// assignments via exhaustive recursion over state variables (the
+	// count is known small).
+	var all []uint64
+	var walk func(prefix uint64, bit int, f bdd.Ref)
+	walk = func(prefix uint64, bit int, f bdd.Ref) {
+		if f == bdd.False {
+			return
+		}
+		if bit == nb {
+			all = append(all, prefix)
+			return
+		}
+		walk(prefix, bit+1, a.mgr.Restrict(f, bit, false))
+		walk(prefix|1<<uint(bit), bit+1, a.mgr.Restrict(f, bit, true))
+	}
+	walk(0, 0, a.set)
+
+	// Successors per state: build the one-state set and image it.
+	img := newImager(a.mgr, a.nextFns, nb, defaultMaxNodes)
+	adjacency = map[uint64][]uint64{}
+	for _, s := range all {
+		cube := bdd.True
+		for b := 0; b < nb; b++ {
+			v := a.mgr.NVar(b)
+			if (s>>uint(b))&1 == 1 {
+				v = a.mgr.Var(b)
+			}
+			cube = a.mgr.And(cube, v)
+		}
+		succSet, err := img.image(cube)
+		if err != nil {
+			return nil, nil, err
+		}
+		var succs []uint64
+		var collect func(prefix uint64, bit int, f bdd.Ref)
+		collect = func(prefix uint64, bit int, f bdd.Ref) {
+			if f == bdd.False {
+				return
+			}
+			if bit == nb {
+				succs = append(succs, prefix)
+				return
+			}
+			collect(prefix, bit+1, a.mgr.Restrict(f, bit, false))
+			collect(prefix|1<<uint(bit), bit+1, a.mgr.Restrict(f, bit, true))
+		}
+		collect(0, 0, succSet)
+		adjacency[s] = succs
+	}
+	return all, adjacency, nil
+}

@@ -1,0 +1,241 @@
+// Package retime implements the Leiserson-Saxe retiming transformation
+// on gate-level netlists: the register-weighted retiming graph, clock
+// period feasibility via the FEAS relaxation algorithm, minimum-period
+// search, and netlist reconstruction with maximal register sharing at
+// fanout stems. Retimings are I/O-preserving: primary inputs and
+// outputs are pinned, so every PI-to-PO path keeps its register count
+// and the retimed circuit implements the same sequential function
+// (Theorem 1 of the reproduced paper) once its registers are flushed by
+// holding the explicit reset line.
+package retime
+
+import (
+	"fmt"
+
+	"seqatpg/internal/netlist"
+)
+
+// edge is one connection of the retiming graph: from vertex u to vertex
+// v through w registers, realizing fanin position pin of gate v.
+type edge struct {
+	u, v int
+	w    int
+	pin  int
+}
+
+// graph is the retiming view of a circuit: vertices are the non-DFF
+// gates (indexed by their gate id in the original circuit); DFFs have
+// been absorbed into edge weights.
+type graph struct {
+	c      *netlist.Circuit
+	delays []float64 // per-vertex gate delay; 0 for IO/const vertices
+	pinned []bool    // vertices whose r must stay 0 (IO, constants)
+	edges  []edge
+	inEdg  [][]int // vertex -> indices into edges (incoming)
+	outEdg [][]int
+	verts  []int // gate ids that are vertices
+	isVert []bool
+}
+
+// buildGraph converts the circuit. Register chains between gates become
+// edge weights; each DFF in the circuit contributes to exactly the
+// edges that pass through it.
+func buildGraph(c *netlist.Circuit, lib *netlist.Library) (*graph, error) {
+	g := &graph{
+		c:      c,
+		delays: make([]float64, len(c.Gates)),
+		pinned: make([]bool, len(c.Gates)),
+		isVert: make([]bool, len(c.Gates)),
+	}
+	for id, gate := range c.Gates {
+		switch gate.Type {
+		case netlist.DFF:
+			continue
+		case netlist.Input, netlist.Output, netlist.Const0, netlist.Const1:
+			g.pinned[id] = true
+			g.delays[id] = 0
+		default:
+			g.delays[id] = lib.Delay(gate.Type, len(gate.Fanin))
+		}
+		g.isVert[id] = true
+		g.verts = append(g.verts, id)
+	}
+	for id, gate := range c.Gates {
+		if gate.Type == netlist.DFF || gate.Type == netlist.Input ||
+			gate.Type == netlist.Const0 || gate.Type == netlist.Const1 {
+			continue
+		}
+		for pin, f := range gate.Fanin {
+			w := 0
+			src := f
+			for c.Gates[src].Type == netlist.DFF {
+				w++
+				src = c.Gates[src].Fanin[0]
+			}
+			if !g.isVert[src] {
+				return nil, fmt.Errorf("retime: fanin of gate %d resolves to non-vertex %d", id, src)
+			}
+			g.edges = append(g.edges, edge{u: src, v: id, w: w, pin: pin})
+		}
+	}
+	g.inEdg = make([][]int, len(c.Gates))
+	g.outEdg = make([][]int, len(c.Gates))
+	for i, e := range g.edges {
+		g.inEdg[e.v] = append(g.inEdg[e.v], i)
+		g.outEdg[e.u] = append(g.outEdg[e.u], i)
+	}
+	return g, nil
+}
+
+// wr returns the retimed weight of edge e under labels r.
+func (g *graph) wr(e edge, r []int) int { return e.w + r[e.v] - r[e.u] }
+
+// clockPeriod computes per-vertex combinational arrival times Δ under
+// labels r, propagating along edges whose retimed weight is ≤ 0 (a
+// conservative treatment of transient negatives during FEAS). The
+// second result is false when the zero-weight subgraph is cyclic, which
+// means the labels are not (yet) legal.
+func (g *graph) clockPeriod(r []int) (delta []float64, period float64, ok bool) {
+	delta = make([]float64, len(g.c.Gates))
+	state := make([]byte, len(g.c.Gates)) // 0 unvisited, 1 on stack, 2 done
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		switch state[v] {
+		case 1:
+			return false // cycle
+		case 2:
+			return true
+		}
+		state[v] = 1
+		maxIn := 0.0
+		for _, ei := range g.inEdg[v] {
+			e := g.edges[ei]
+			if g.wr(e, r) > 0 {
+				continue
+			}
+			if !visit(e.u) {
+				return false
+			}
+			if delta[e.u] > maxIn {
+				maxIn = delta[e.u]
+			}
+		}
+		delta[v] = maxIn + g.delays[v]
+		state[v] = 2
+		return true
+	}
+	for _, v := range g.verts {
+		if !visit(v) {
+			return nil, 0, false
+		}
+		if delta[v] > period {
+			period = delta[v]
+		}
+	}
+	return delta, period, true
+}
+
+// feas runs the Leiserson-Saxe FEAS relaxation for target period c:
+// repeatedly increment r(v) for every unpinned vertex whose arrival
+// exceeds c, restoring edge-weight nonnegativity between rounds.
+// Returns legal labels achieving period ≤ c, or ok=false.
+func (g *graph) feas(c float64) (r []int, ok bool) {
+	r = make([]int, len(g.c.Gates))
+	n := len(g.verts)
+	// Cap the relaxation rounds: FEAS needs at most |V|-1 rounds, but on
+	// the largest circuits a tighter cap only risks reporting a feasible
+	// period as infeasible (the search then settles on a slightly larger,
+	// still-legal period).
+	rounds := 2 * n
+	if rounds > 4000 {
+		rounds = 4000
+	}
+	for iter := 0; iter <= rounds; iter++ {
+		// Restore nonnegativity: lift the head of every negative edge
+		// just enough. A pinned head that cannot be lifted makes the
+		// target infeasible.
+		repaired := false
+		for pass := 0; pass <= n; pass++ {
+			anyNeg := false
+			for _, e := range g.edges {
+				if d := g.wr(e, r); d < 0 {
+					if g.pinned[e.v] {
+						return nil, false
+					}
+					r[e.v] -= d
+					anyNeg = true
+				}
+			}
+			if !anyNeg {
+				break
+			}
+			repaired = true
+			if pass == n {
+				return nil, false // negative cycle: cannot happen on legal inputs
+			}
+		}
+		_ = repaired
+
+		delta, period, legal := g.clockPeriod(r)
+		if !legal {
+			// Zero-weight cycle with nonnegative weights would be a
+			// combinational cycle; the input circuit has none, so this
+			// target is hopeless.
+			return nil, false
+		}
+		if period <= c+1e-9 {
+			if g.legal(r) {
+				return r, true
+			}
+			return nil, false
+		}
+		moved := false
+		for _, v := range g.verts {
+			if g.pinned[v] {
+				continue
+			}
+			if delta[v] > c+1e-9 {
+				r[v]++
+				moved = true
+			}
+		}
+		if !moved {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// legal reports whether all retimed edge weights are nonnegative and all
+// pinned vertices have label 0.
+func (g *graph) legal(r []int) bool {
+	for _, v := range g.verts {
+		if g.pinned[v] && r[v] != 0 {
+			return false
+		}
+	}
+	for _, e := range g.edges {
+		if g.wr(e, r) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// registerCount returns the number of DFFs the rebuilt circuit will
+// contain under labels r, with register chains shared across fanout
+// edges (each vertex contributes max over out-edges of the retimed
+// weight).
+func (g *graph) registerCount(r []int) int {
+	total := 0
+	for _, u := range g.verts {
+		maxW := 0
+		for _, ei := range g.outEdg[u] {
+			if w := g.wr(g.edges[ei], r); w > maxW {
+				maxW = w
+			}
+		}
+		total += maxW
+	}
+	return total
+}

@@ -1,0 +1,185 @@
+package retime
+
+import (
+	"testing"
+
+	"seqatpg/internal/netlist"
+)
+
+// pipeline builds: in -> g1 -> DFF -> g2 -> DFF -> DFF -> g3 -> out,
+// a linear structure with known edge weights.
+func pipeline(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("pipe")
+	in := c.AddGate(netlist.Input, "in")
+	g1 := c.AddGate(netlist.Not, "g1", in)
+	f1 := c.AddGate(netlist.DFF, "f1", g1)
+	g2 := c.AddGate(netlist.Not, "g2", f1)
+	f2 := c.AddGate(netlist.DFF, "f2", g2)
+	f3 := c.AddGate(netlist.DFF, "f3", f2)
+	g3 := c.AddGate(netlist.Not, "g3", f3)
+	c.AddGate(netlist.Output, "o", g3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildGraphWeights(t *testing.T) {
+	c := pipeline(t)
+	g, err := buildGraph(c, netlist.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices: in, g1, g2, g3, out — DFFs absorbed into weights.
+	if len(g.verts) != 5 {
+		t.Fatalf("vertices = %d, want 5", len(g.verts))
+	}
+	// Edge weights: in->g1: 0; g1->g2: 1; g2->g3: 2 (DFF chain); g3->out: 0.
+	weightBetween := func(uName, vName string) (int, bool) {
+		for _, e := range g.edges {
+			if c.Gates[e.u].Name == uName && c.Gates[e.v].Name == vName {
+				return e.w, true
+			}
+		}
+		return 0, false
+	}
+	cases := []struct {
+		u, v string
+		w    int
+	}{
+		{"in", "g1", 0}, {"g1", "g2", 1}, {"g2", "g3", 2}, {"g3", "o", 0},
+	}
+	for _, tc := range cases {
+		w, ok := weightBetween(tc.u, tc.v)
+		if !ok {
+			t.Errorf("missing edge %s->%s", tc.u, tc.v)
+			continue
+		}
+		if w != tc.w {
+			t.Errorf("edge %s->%s weight %d, want %d", tc.u, tc.v, w, tc.w)
+		}
+	}
+	// IO vertices are pinned.
+	for _, v := range g.verts {
+		switch c.Gates[v].Type {
+		case netlist.Input, netlist.Output:
+			if !g.pinned[v] {
+				t.Errorf("IO vertex %d not pinned", v)
+			}
+		}
+	}
+}
+
+func TestClockPeriodIdentityLabels(t *testing.T) {
+	c := pipeline(t)
+	g, err := buildGraph(c, netlist.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, period, ok := g.clockPeriod(make([]int, len(c.Gates)))
+	if !ok {
+		t.Fatal("identity labels must be legal")
+	}
+	// Longest register-free segment is a single inverter (delay 1.0).
+	if period != 1.0 {
+		t.Errorf("period = %v, want 1.0", period)
+	}
+}
+
+func TestFeasAlreadyMet(t *testing.T) {
+	c := pipeline(t)
+	g, err := buildGraph(c, netlist.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := g.feas(1.0)
+	if !ok {
+		t.Fatal("period 1.0 is achievable as-is")
+	}
+	if !g.legal(r) {
+		t.Error("feas returned illegal labels")
+	}
+}
+
+func TestFeasInfeasiblePeriod(t *testing.T) {
+	c := pipeline(t)
+	g, err := buildGraph(c, netlist.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.feas(0.5); ok {
+		t.Error("period below a single gate delay cannot be feasible")
+	}
+}
+
+func TestRegisterCountSharing(t *testing.T) {
+	// One driver feeding two DFF-buffered readers: register sharing
+	// means the rebuilt circuit uses a single chain.
+	c := netlist.New("share")
+	in := c.AddGate(netlist.Input, "in")
+	g := c.AddGate(netlist.Not, "g", in)
+	f1 := c.AddGate(netlist.DFF, "f1", g)
+	f2 := c.AddGate(netlist.DFF, "f2", g)
+	o1 := c.AddGate(netlist.Buf, "b1", f1)
+	o2 := c.AddGate(netlist.Buf, "b2", f2)
+	c.AddGate(netlist.Output, "o1", o1)
+	c.AddGate(netlist.Output, "o2", o2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := buildGraph(c, netlist.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := gr.registerCount(make([]int, len(c.Gates))); n != 1 {
+		t.Errorf("identity retiming register count = %d, want 1 (shared chain)", n)
+	}
+}
+
+func TestMinPeriodOnPipeline(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := pipeline(t)
+	res, err := MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Already optimal (every segment is one inverter): nothing changes.
+	if res.Period != 1.0 {
+		t.Errorf("min period = %v, want 1.0", res.Period)
+	}
+	if res.Circuit.NumDFFs() != 3 {
+		t.Errorf("register count changed: %d", res.Circuit.NumDFFs())
+	}
+}
+
+// TestMinPeriodBalancesLongSegment: a two-inverter segment between two
+// registers balances to one inverter per stage when the trailing
+// register can move back across the second inverter.
+func TestMinPeriodBalancesLongSegment(t *testing.T) {
+	c := netlist.New("unbal")
+	in := c.AddGate(netlist.Input, "in")
+	f1 := c.AddGate(netlist.DFF, "f1", in)
+	g1 := c.AddGate(netlist.Not, "g1", f1)
+	g2 := c.AddGate(netlist.Not, "g2", g1)
+	f2 := c.AddGate(netlist.DFF, "f2", g2)
+	c.AddGate(netlist.Output, "o", f2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lib := netlist.DefaultLibrary()
+	before, err := CurrentPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period >= before {
+		t.Errorf("retiming should shorten the 2-inverter segment: %.2f -> %.2f", before, res.Period)
+	}
+	if err := res.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

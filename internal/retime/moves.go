@@ -1,0 +1,258 @@
+package retime
+
+import (
+	"fmt"
+	"sort"
+
+	"seqatpg/internal/netlist"
+)
+
+// This file implements the paper's atomic retiming transformations
+// (Figure 1): moving a register backward across a combinational gate
+// (one register on the gate's output becomes one register on each
+// fanin) and forward across a gate (one register per fanin becomes one
+// register on the output). Sequences of backward moves are the
+// mechanism that creates the paper's low-density retimed circuit class:
+// every move multiplies registers across the fanin cone while the valid
+// state set barely grows.
+
+// CanMoveBackward reports whether the register dff can be moved backward
+// across its driving gate: the driver must be combinational and the dff
+// must be the driver's only fanout (otherwise the move would change the
+// logic seen by the other fanouts).
+func CanMoveBackward(c *netlist.Circuit, fanouts [][]int, dff int) bool {
+	if c.Gates[dff].Type != netlist.DFF {
+		return false
+	}
+	drv := c.Gates[dff].Fanin[0]
+	g := c.Gates[drv]
+	if !g.Type.IsCombinational() || g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+		return false
+	}
+	return len(fanouts[drv]) == 1
+}
+
+// MoveBackward performs one atomic backward move of register dff across
+// its driving gate, editing the circuit in place. Registers on the new
+// fanin positions are shared: if a fanin already feeds a DFF created
+// for the same move set, that DFF is reused. The dff gate is rewired to
+// become a buffer-free pass-through: the gate's old consumers now read
+// the gate directly, and the gate reads registered fanins.
+//
+// The caller must have checked CanMoveBackward; the move returns the
+// ids of the registers now feeding the gate.
+func MoveBackward(c *netlist.Circuit, dff int) ([]int, error) {
+	drv := c.Gates[dff].Fanin[0]
+	if !c.Gates[drv].Type.IsCombinational() {
+		return nil, fmt.Errorf("retime: gate %d is not combinational", drv)
+	}
+	// Insert a register on each fanin of the driver, sharing one
+	// register per distinct fanin source. Work on a snapshot of the
+	// fanin list: AddGate may reallocate the gate slice.
+	fanins := append([]int(nil), c.Gates[drv].Fanin...)
+	newFF := map[int]int{}
+	var created []int
+	for pin, f := range fanins {
+		ff, ok := newFF[f]
+		if !ok {
+			ff = c.AddGate(netlist.DFF, fmt.Sprintf("%s_b%d", c.Gates[f].Name, len(c.DFFs)), f)
+			newFF[f] = ff
+			created = append(created, ff)
+		}
+		c.Gates[drv].Fanin[pin] = ff
+	}
+	// The moved register disappears: its consumers read the gate output.
+	replaceReader(c, dff, drv)
+	removeDFF(c, dff)
+	return created, nil
+}
+
+// CanMoveForward reports whether gate id can absorb the registers on
+// its fanins: every fanin must be a DFF whose only fanout is this gate,
+// and the gate must be combinational.
+func CanMoveForward(c *netlist.Circuit, fanouts [][]int, id int) bool {
+	g := c.Gates[id]
+	if !g.Type.IsCombinational() || len(g.Fanin) == 0 {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, f := range g.Fanin {
+		if c.Gates[f].Type != netlist.DFF {
+			return false
+		}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		if len(fanouts[f]) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveForward performs one atomic forward move: the registers on every
+// fanin of gate id are replaced by a single register on its output.
+// Returns the id of the new output register. The caller must have
+// checked CanMoveForward.
+func MoveForward(c *netlist.Circuit, id int) (int, error) {
+	g := c.Gates[id]
+	old := map[int]bool{}
+	for pin, f := range g.Fanin {
+		if c.Gates[f].Type != netlist.DFF {
+			return -1, fmt.Errorf("retime: fanin %d of gate %d is not a DFF", f, id)
+		}
+		old[f] = true
+		c.Gates[id].Fanin[pin] = c.Gates[f].Fanin[0]
+	}
+	ff := c.AddGate(netlist.DFF, fmt.Sprintf("%s_f", g.Name), id)
+	// Everyone who read the gate now reads the register instead.
+	for rid := range c.Gates {
+		if rid == ff {
+			continue
+		}
+		for pin, f := range c.Gates[rid].Fanin {
+			if f == id && rid != ff {
+				c.Gates[rid].Fanin[pin] = ff
+			}
+		}
+	}
+	// But the register itself must keep reading the gate.
+	c.Gates[ff].Fanin[0] = id
+	for d := range old {
+		removeDFF(c, d)
+	}
+	return ff, nil
+}
+
+// replaceReader rewires every fanin reference to from so it reads to.
+func replaceReader(c *netlist.Circuit, from, to int) {
+	for id := range c.Gates {
+		for pin, f := range c.Gates[id].Fanin {
+			if f == from {
+				c.Gates[id].Fanin[pin] = to
+			}
+		}
+	}
+}
+
+// removeDFF turns a DFF gate into an orphaned buffer of a constant so it
+// drops out of the DFF list; the circuit is then compacted.
+func removeDFF(c *netlist.Circuit, dff int) {
+	// Mark: nothing references it anymore (callers rewired readers).
+	for i, id := range c.DFFs {
+		if id == dff {
+			c.DFFs = append(c.DFFs[:i], c.DFFs[i+1:]...)
+			break
+		}
+	}
+	// Neutralize the gate so Validate's type census stays consistent:
+	// it becomes a Buf of its old driver, unreferenced.
+	c.Gates[dff] = netlist.Gate{Type: netlist.Buf, Fanin: []int{c.Gates[dff].Fanin[0]}, Name: "dead"}
+}
+
+// Compact rebuilds the circuit without unreachable gates (gates that
+// drive nothing transitively observable). It preserves PI/PO/DFF order.
+func Compact(c *netlist.Circuit) *netlist.Circuit {
+	keep := make([]bool, len(c.Gates))
+	var mark func(int)
+	mark = func(id int) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		for _, f := range c.Gates[id].Fanin {
+			mark(f)
+		}
+	}
+	for _, id := range c.POs {
+		mark(id)
+	}
+	// PIs are part of the interface even when unread.
+	for _, id := range c.PIs {
+		keep[id] = true
+	}
+	out := netlist.New(c.Name)
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Allocate in original order to keep interface ordering stable.
+	for id, g := range c.Gates {
+		if keep[id] {
+			remap[id] = out.AddGate(g.Type, g.Name)
+		}
+	}
+	for id, g := range c.Gates {
+		if !keep[id] {
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for k, f := range g.Fanin {
+			fanin[k] = remap[f]
+		}
+		out.Gates[remap[id]].Fanin = fanin
+	}
+	if c.ResetPI >= 0 {
+		out.ResetPI = remap[c.ResetPI]
+	}
+	return out
+}
+
+// Backward applies `rounds` sweeps of atomic backward moves: in each
+// sweep, every currently movable register is moved backward across its
+// driver, deepest drivers first. This reproduces the paper's retimed
+// circuit class directly from its own atomic-transformation framing:
+// register count multiplies across fanin cones while behaviour (after
+// the reset flush) is preserved.
+func Backward(c *netlist.Circuit, lib *netlist.Library, rounds int) (*Result, error) {
+	work := c.Clone()
+	work.Name = c.Name + ".re"
+	for round := 0; round < rounds; round++ {
+		fanouts := work.Fanouts()
+		// Snapshot the movable registers before editing.
+		var movable []int
+		for _, dff := range work.DFFs {
+			if CanMoveBackward(work, fanouts, dff) {
+				movable = append(movable, dff)
+			}
+		}
+		if len(movable) == 0 {
+			break
+		}
+		// Deepest drivers first so the sweep balances long paths.
+		lv, err := work.Levels()
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(movable, func(i, j int) bool {
+			return lv[work.Gates[movable[i]].Fanin[0]] > lv[work.Gates[movable[j]].Fanin[0]]
+		})
+		for _, dff := range movable {
+			// Re-check: earlier moves in this sweep may have changed
+			// fanouts (e.g. shared new registers).
+			fo := work.Fanouts()
+			if !CanMoveBackward(work, fo, dff) {
+				continue
+			}
+			if _, err := MoveBackward(work, dff); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := Compact(work)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("retime: backward-retimed circuit invalid: %w", err)
+	}
+	period, err := CurrentPeriod(out, lib)
+	if err != nil {
+		return nil, err
+	}
+	flush := 0
+	if out.ResetPI >= 0 {
+		if flush, err = FlushLength(out); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Circuit: out, Period: period, FlushCycles: flush}, nil
+}

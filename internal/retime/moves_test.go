@@ -1,0 +1,243 @@
+package retime
+
+import (
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/synth"
+)
+
+func TestBackwardGrowsRegisters(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := synthCircuit(t, 11, 21, synth.Rugged)
+	res, err := Backward(c, lib, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NumDFFs() <= c.NumDFFs() {
+		t.Errorf("backward retiming did not grow registers: %d -> %d",
+			c.NumDFFs(), res.Circuit.NumDFFs())
+	}
+	if res.FlushCycles < 1 {
+		t.Errorf("flush cycles = %d", res.FlushCycles)
+	}
+	t.Logf("DFFs %d -> %d, flush %d, period %.2f", c.NumDFFs(), res.Circuit.NumDFFs(),
+		res.FlushCycles, res.Period)
+}
+
+// Theorem 1 substrate for atomic-move retiming: behaviour is preserved
+// after the flush prefix.
+func TestBackwardPreservesBehaviour(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	for _, rounds := range []int{1, 2, 3} {
+		for _, seed := range []int64{21, 34} {
+			c := synthCircuit(t, 9, seed, synth.Delay)
+			res, err := Backward(c, lib, rounds)
+			if err != nil {
+				t.Fatalf("rounds=%d seed=%d: %v", rounds, seed, err)
+			}
+			flush := res.FlushCycles
+			if flush < 1 {
+				flush = 1
+			}
+			equivalentAfterFlush(t, c, res.Circuit, flush, seed+int64(rounds)*100, 200)
+		}
+	}
+}
+
+func TestBackwardMonotoneInRounds(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := synthCircuit(t, 11, 55, synth.Rugged)
+	prev := c.NumDFFs()
+	for rounds := 1; rounds <= 3; rounds++ {
+		res, err := Backward(c, lib, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := res.Circuit.NumDFFs()
+		if n < prev {
+			t.Errorf("rounds=%d: DFFs shrank from %d to %d", rounds, prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestMoveBackwardSharing(t *testing.T) {
+	// Gate with duplicate fanins must get one shared register, not two.
+	c := netlist.New("dup")
+	in := c.AddGate(netlist.Input, "in")
+	a := c.AddGate(netlist.And, "a", in, in)
+	ff := c.AddGate(netlist.DFF, "q", a)
+	c.AddGate(netlist.Output, "o", ff)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	created, err := MoveBackward(c, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 {
+		t.Errorf("created %d registers, want 1 shared", len(created))
+	}
+	out := Compact(c)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDFFs() != 1 {
+		t.Errorf("after move: %d DFFs, want 1", out.NumDFFs())
+	}
+}
+
+func TestMoveForwardInverseOfBackward(t *testing.T) {
+	// Build in -> DFF -> NOT -> out; move the register forward across
+	// the NOT, then the DFF count stays 1 and the register sits after
+	// the inverter.
+	c := netlist.New("fwd")
+	in := c.AddGate(netlist.Input, "in")
+	ff := c.AddGate(netlist.DFF, "q", in)
+	n := c.AddGate(netlist.Not, "n", ff)
+	c.AddGate(netlist.Output, "o", n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fo := c.Fanouts()
+	if !CanMoveForward(c, fo, n) {
+		t.Fatal("forward move should be legal")
+	}
+	newFF, err := MoveForward(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Compact(c)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDFFs() != 1 {
+		t.Errorf("DFFs = %d, want 1", out.NumDFFs())
+	}
+	_ = newFF
+	// The NOT must now read the input directly.
+	for _, g := range out.Gates {
+		if g.Type == netlist.Not {
+			if out.Gates[g.Fanin[0]].Type != netlist.Input {
+				t.Error("NOT should read the primary input after the forward move")
+			}
+		}
+	}
+}
+
+func TestCanMoveGuards(t *testing.T) {
+	// A driver with two fanouts must not allow a backward move.
+	c := netlist.New("guard")
+	in := c.AddGate(netlist.Input, "in")
+	a := c.AddGate(netlist.And, "a", in, in)
+	ff := c.AddGate(netlist.DFF, "q", a)
+	c.AddGate(netlist.Output, "o1", ff)
+	c.AddGate(netlist.Output, "o2", a) // second fanout of the AND
+	fo := c.Fanouts()
+	if CanMoveBackward(c, fo, ff) {
+		t.Error("backward move across a multi-fanout driver must be illegal")
+	}
+	// Forward move needs all fanins registered.
+	b := c.AddGate(netlist.And, "b", ff, in)
+	fo = c.Fanouts()
+	if CanMoveForward(c, fo, b) {
+		t.Error("forward move with an unregistered fanin must be illegal")
+	}
+}
+
+func TestCompactDropsDeadLogic(t *testing.T) {
+	c := netlist.New("dead")
+	in := c.AddGate(netlist.Input, "in")
+	c.AddGate(netlist.Not, "dead1", in) // drives nothing
+	b := c.AddGate(netlist.Buf, "live", in)
+	c.AddGate(netlist.Output, "o", b)
+	out := Compact(c)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 3 {
+		t.Errorf("compact kept %d gates, want 3", out.NumGates())
+	}
+	if len(out.PIs) != 1 || len(out.POs) != 1 {
+		t.Error("interface lost in compaction")
+	}
+}
+
+// The paper's suite-level check: backward retiming on a synthesized
+// control circuit multiplies registers the way Table 2 reports
+// (5 DFFs becoming 8-28).
+func TestBackwardOnSuiteMember(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-scale test")
+	}
+	lib := netlist.DefaultLibrary()
+	m, err := fsm.Generate(fsm.GenSpec{Name: "dk16", Inputs: 3, Outputs: 3, States: 27, Seed: 1601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.InputDominant, Script: synth.Delay, UseUnreachableDC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Backward(r.Circuit, lib, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dk16.ji.sd: DFFs %d -> %d, flush %d", r.Circuit.NumDFFs(),
+		res.Circuit.NumDFFs(), res.FlushCycles)
+	if res.Circuit.NumDFFs() < 2*r.Circuit.NumDFFs() {
+		t.Errorf("expected at least 2x register growth, got %d -> %d",
+			r.Circuit.NumDFFs(), res.Circuit.NumDFFs())
+	}
+	flush := res.FlushCycles
+	if flush < 1 {
+		flush = 1
+	}
+	equivalentAfterFlush(t, r.Circuit, res.Circuit, flush, 99, 300)
+}
+
+// TestForwardUndoesBackward: a backward move followed by a forward move
+// across the same gate restores behaviourally identical hardware (the
+// atomic operations of the paper's Figure 1 are inverses).
+func TestForwardUndoesBackward(t *testing.T) {
+	c := synthCircuit(t, 9, 13, synth.Delay)
+	work := c.Clone()
+	fanouts := work.Fanouts()
+	// Find a movable register.
+	var dff int = -1
+	for _, d := range work.DFFs {
+		if CanMoveBackward(work, fanouts, d) {
+			dff = d
+			break
+		}
+	}
+	if dff < 0 {
+		t.Skip("no movable register in this circuit")
+	}
+	drv := work.Gates[dff].Fanin[0]
+	if _, err := MoveBackward(work, dff); err != nil {
+		t.Fatal(err)
+	}
+	// Forward move across the same driver gate restores the register to
+	// the output side.
+	fo := work.Fanouts()
+	if !CanMoveForward(work, fo, drv) {
+		t.Fatalf("driver %d should be forward-movable after the backward move", drv)
+	}
+	if _, err := MoveForward(work, drv); err != nil {
+		t.Fatal(err)
+	}
+	out := Compact(work)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDFFs() != c.NumDFFs() {
+		t.Errorf("register count changed: %d -> %d", c.NumDFFs(), out.NumDFFs())
+	}
+	equivalentAfterFlush(t, c, out, 2, 77, 200)
+}

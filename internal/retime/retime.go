@@ -1,0 +1,246 @@
+package retime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// Result is a retimed circuit plus the metadata the experiments need.
+type Result struct {
+	Circuit *netlist.Circuit
+	// Period is the critical combinational delay of the retimed circuit
+	// (library units); the paper's Table 7 reports it in nanoseconds.
+	Period float64
+	// FlushCycles is the number of cycles the explicit reset line must
+	// be held to bring the retimed circuit into a known state — the P
+	// prefix of the paper's Theorem 1 footnote.
+	FlushCycles int
+	// Labels holds the Leiserson-Saxe r(v) values by gate id of the
+	// source circuit.
+	Labels []int
+}
+
+// MinPeriod retimes the circuit to its minimum feasible clock period
+// (under I/O pinning) by binary search over candidate periods.
+func MinPeriod(c *netlist.Circuit, lib *netlist.Library) (*Result, error) {
+	g, err := buildGraph(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	_, current, ok := g.clockPeriod(make([]int, len(c.Gates)))
+	if !ok {
+		return nil, fmt.Errorf("retime: circuit %s has a combinational cycle", c.Name)
+	}
+	lo := maxGateDelay(g)
+	best, bestR := current, make([]int, len(c.Gates))
+	// Binary search over the continuous period range; gate delays are
+	// small rationals so 40 halvings give far more than enough
+	// resolution to separate distinct achievable periods.
+	hi := current
+	for iter := 0; iter < 40 && hi-lo > 1e-6; iter++ {
+		mid := (lo + hi) / 2
+		if r, ok := g.feas(mid); ok {
+			_, p, _ := g.clockPeriod(r)
+			if p < best {
+				best, bestR = p, r
+			}
+			hi = p
+		} else {
+			lo = mid
+		}
+	}
+	return finishRetime(c, g, bestR, best)
+}
+
+// ToPeriod retimes the circuit to the smallest feasible period that is
+// at least target. Useful for generating the graded ladder of retimed
+// versions in the paper's Table 7.
+func ToPeriod(c *netlist.Circuit, lib *netlist.Library, target float64) (*Result, error) {
+	g, err := buildGraph(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := g.feas(target)
+	if !ok {
+		// Fall back to the identity retiming when the target is not
+		// achievable; the caller sees the unchanged period.
+		r = make([]int, len(c.Gates))
+	}
+	_, p, okCP := g.clockPeriod(r)
+	if !okCP {
+		return nil, fmt.Errorf("retime: circuit %s has a combinational cycle", c.Name)
+	}
+	return finishRetime(c, g, r, p)
+}
+
+// maxGateDelay returns the largest single-vertex delay, a lower bound on
+// any achievable period.
+func maxGateDelay(g *graph) float64 {
+	m := 0.0
+	for _, v := range g.verts {
+		if g.delays[v] > m {
+			m = g.delays[v]
+		}
+	}
+	return m
+}
+
+// finishRetime rebuilds the netlist under labels r and measures the
+// flush sequence.
+func finishRetime(c *netlist.Circuit, g *graph, r []int, period float64) (*Result, error) {
+	out, err := rebuild(c, g, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("retime: rebuilt circuit invalid: %w", err)
+	}
+	flush := 0
+	if out.ResetPI >= 0 {
+		if flush, err = FlushLength(out); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Circuit: out, Period: period, FlushCycles: flush, Labels: r}, nil
+}
+
+// rebuild constructs the retimed netlist: every vertex is copied, and
+// each vertex grows a DFF chain as deep as its largest outgoing retimed
+// edge weight; fanins tap the chain at the edge's depth (maximal
+// register sharing at fanout stems).
+func rebuild(c *netlist.Circuit, g *graph, r []int) (*netlist.Circuit, error) {
+	out := netlist.New(c.Name + ".re")
+	idMap := make([]int, len(c.Gates)) // old vertex id -> new gate id
+	for i := range idMap {
+		idMap[i] = -1
+	}
+	// Copy vertices in old-id order; IO order is preserved because
+	// AddGate appends to the PI/PO lists in call order.
+	for _, v := range g.verts {
+		gate := c.Gates[v]
+		idMap[v] = out.AddGate(gate.Type, gate.Name) // fanins patched below
+	}
+	if c.ResetPI >= 0 {
+		out.ResetPI = idMap[c.ResetPI]
+	}
+	// Register chains per vertex.
+	chainDepth := make([]int, len(c.Gates))
+	for _, e := range g.edges {
+		w := g.wr(e, r)
+		if w < 0 {
+			return nil, fmt.Errorf("retime: negative retimed weight on edge %d->%d", e.u, e.v)
+		}
+		if w > chainDepth[e.u] {
+			chainDepth[e.u] = w
+		}
+	}
+	chains := make(map[int][]int) // old vertex id -> new DFF ids, depth 1..n
+	// Deterministic order for DFF allocation.
+	var order []int
+	for _, v := range g.verts {
+		if chainDepth[v] > 0 {
+			order = append(order, v)
+		}
+	}
+	sort.Ints(order)
+	for _, v := range order {
+		prev := idMap[v]
+		for k := 1; k <= chainDepth[v]; k++ {
+			ff := out.AddGate(netlist.DFF, fmt.Sprintf("%s_r%d", c.Gates[v].Name, k), prev)
+			chains[v] = append(chains[v], ff)
+			prev = ff
+		}
+	}
+	// Patch fanins.
+	for _, e := range g.edges {
+		w := g.wr(e, r)
+		var src int
+		if w == 0 {
+			src = idMap[e.u]
+		} else {
+			src = chains[e.u][w-1]
+		}
+		newV := idMap[e.v]
+		for len(out.Gates[newV].Fanin) <= e.pin {
+			out.Gates[newV].Fanin = append(out.Gates[newV].Fanin, -1)
+		}
+		out.Gates[newV].Fanin[e.pin] = src
+	}
+	return out, nil
+}
+
+// FlushLength simulates the circuit from the all-X power-up state with
+// the reset line held at 1 and the other inputs at 0, and returns the
+// number of cycles until the state is fully known and stable. An error
+// is returned when the circuit has no reset line or does not converge
+// within a generous bound.
+func FlushLength(c *netlist.Circuit) (int, error) {
+	if c.ResetPI < 0 {
+		return 0, fmt.Errorf("retime: circuit %s has no reset line", c.Name)
+	}
+	s, err := sim.NewSimulator(c)
+	if err != nil {
+		return 0, err
+	}
+	s.PowerUp()
+	in := make([]sim.Val, len(c.PIs))
+	for i, id := range c.PIs {
+		if id == c.ResetPI {
+			in[i] = sim.V1
+		} else {
+			in[i] = sim.V0
+		}
+	}
+	limit := 2*len(c.DFFs) + 4
+	prev := ""
+	for cycle := 1; cycle <= limit; cycle++ {
+		if _, err := s.Step(in); err != nil {
+			return 0, err
+		}
+		if s.StateKnown() {
+			key := fmt.Sprint(s.State())
+			if key == prev {
+				return cycle - 1, nil // stabilized at the previous cycle
+			}
+			prev = key
+		} else {
+			prev = ""
+		}
+	}
+	return 0, fmt.Errorf("retime: circuit %s did not flush within %d reset cycles", c.Name, limit)
+}
+
+// RegisterCount reports how many DFFs a minimum-period retiming would
+// use without building the circuit (used by sweep experiments).
+func RegisterCount(c *netlist.Circuit, lib *netlist.Library, period float64) (int, bool) {
+	g, err := buildGraph(c, lib)
+	if err != nil {
+		return 0, false
+	}
+	r, ok := g.feas(period)
+	if !ok {
+		return 0, false
+	}
+	return g.registerCount(r), true
+}
+
+// CurrentPeriod returns the critical combinational delay of the circuit
+// as-is under the library.
+func CurrentPeriod(c *netlist.Circuit, lib *netlist.Library) (float64, error) {
+	g, err := buildGraph(c, lib)
+	if err != nil {
+		return 0, err
+	}
+	_, p, ok := g.clockPeriod(make([]int, len(c.Gates)))
+	if !ok {
+		return 0, fmt.Errorf("retime: circuit %s has a combinational cycle", c.Name)
+	}
+	if math.IsInf(p, 0) || math.IsNaN(p) {
+		return 0, fmt.Errorf("retime: bad period for %s", c.Name)
+	}
+	return p, nil
+}

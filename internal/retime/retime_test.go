@@ -1,0 +1,217 @@
+package retime
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+	"seqatpg/internal/synth"
+)
+
+func synthCircuit(t *testing.T, states int, seed int64, script synth.Script) *netlist.Circuit {
+	t.Helper()
+	m, err := fsm.Generate(fsm.GenSpec{
+		Name: "rt", Inputs: 4, Outputs: 3, States: states, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.Combined, Script: script, UseUnreachableDC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Circuit
+}
+
+func TestMinPeriodImproves(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := synthCircuit(t, 11, 21, synth.Rugged)
+	before, err := CurrentPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period > before+1e-9 {
+		t.Errorf("retimed period %.2f worse than original %.2f", res.Period, before)
+	}
+	after, err := CurrentPeriod(res.Circuit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > res.Period+1e-9 {
+		t.Errorf("reported period %.2f but rebuilt circuit measures %.2f", res.Period, after)
+	}
+	if err := res.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("period %.2f -> %.2f, DFFs %d -> %d, flush %d",
+		before, res.Period, c.NumDFFs(), res.Circuit.NumDFFs(), res.FlushCycles)
+}
+
+// equivalentAfterFlush drives both circuits with reset held for the
+// given number of cycles, then identical random inputs, and requires
+// identical PO values from the first post-flush cycle on.
+func equivalentAfterFlush(t *testing.T, a, b *netlist.Circuit, flush int, seed int64, steps int) {
+	t.Helper()
+	sa, err := sim.NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PIs) != len(b.PIs) || len(a.POs) != len(b.POs) {
+		t.Fatal("interface mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	resetIdx := -1
+	for i, id := range a.PIs {
+		if id == a.ResetPI {
+			resetIdx = i
+		}
+	}
+	if resetIdx < 0 {
+		t.Fatal("no reset line")
+	}
+	in := make([]sim.Val, len(a.PIs))
+	for cycle := 0; cycle < flush; cycle++ {
+		for i := range in {
+			in[i] = sim.V0
+		}
+		in[resetIdx] = sim.V1
+		if _, err := sa.Step(in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sb.Step(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < steps; step++ {
+		for i := range in {
+			in[i] = sim.Val(rng.Intn(2))
+		}
+		in[resetIdx] = sim.V0
+		if rng.Intn(10) == 0 {
+			in[resetIdx] = sim.V1 // occasional mid-stream reset
+		}
+		oa, err := sa.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := sb.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range oa {
+			if oa[k] != ob[k] {
+				t.Fatalf("step %d output %d: %v vs %v", step, k, oa[k], ob[k])
+			}
+		}
+	}
+}
+
+// TestRetimingPreservesBehaviour is the Theorem 1 substrate: after the
+// flush prefix, original and retimed circuits are cycle-accurate equals.
+func TestRetimingPreservesBehaviour(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	for _, script := range []synth.Script{synth.Rugged, synth.Delay} {
+		for _, seed := range []int64{21, 34, 55} {
+			c := synthCircuit(t, 9+int(seed%5), seed, script)
+			res, err := MinPeriod(c, lib)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			flush := res.FlushCycles
+			if flush < 1 {
+				flush = 1
+			}
+			equivalentAfterFlush(t, c, res.Circuit, flush, seed*3+1, 200)
+		}
+	}
+}
+
+func TestToPeriodLadder(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := synthCircuit(t, 13, 77, synth.Rugged)
+	orig, err := CurrentPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minRes, err := MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRes.Period >= orig {
+		t.Skip("circuit already at minimum period; ladder not meaningful")
+	}
+	// A mid-ladder target: feasible, should add fewer registers than the
+	// full minimum-period retiming.
+	mid := (orig + minRes.Period) / 2
+	midRes, err := ToPeriod(c, lib, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if midRes.Period > orig+1e-9 {
+		t.Errorf("mid-ladder period %.2f exceeds original %.2f", midRes.Period, orig)
+	}
+	if midRes.Circuit.NumDFFs() > minRes.Circuit.NumDFFs() {
+		t.Errorf("mid target used more DFFs (%d) than min period (%d)",
+			midRes.Circuit.NumDFFs(), minRes.Circuit.NumDFFs())
+	}
+	equivalentAfterFlush(t, c, midRes.Circuit, max(1, midRes.FlushCycles), 5, 150)
+}
+
+func TestFlushLengthOriginal(t *testing.T) {
+	c := synthCircuit(t, 11, 3, synth.Delay)
+	n, err := FlushLength(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("original circuit flush = %d, want 1", n)
+	}
+}
+
+func TestFlushLengthNoReset(t *testing.T) {
+	c := netlist.New("noreset")
+	in := c.AddGate(netlist.Input, "in")
+	ff := c.AddGate(netlist.DFF, "q", in)
+	c.AddGate(netlist.Output, "o", ff)
+	if _, err := FlushLength(c); err == nil {
+		t.Error("expected error for circuit without reset")
+	}
+}
+
+func TestRegisterCountMonotone(t *testing.T) {
+	lib := netlist.DefaultLibrary()
+	c := synthCircuit(t, 13, 77, synth.Rugged)
+	orig, _ := CurrentPeriod(c, lib)
+	nLoose, okL := RegisterCount(c, lib, orig)
+	minRes, err := MinPeriod(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTight, okT := RegisterCount(c, lib, minRes.Period)
+	if !okL || !okT {
+		t.Fatal("register counts not computable")
+	}
+	if nTight < nLoose {
+		t.Errorf("tighter period used fewer registers: %d < %d", nTight, nLoose)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

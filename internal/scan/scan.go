@@ -1,0 +1,226 @@
+// Package scan implements design-for-testability register insertion —
+// the remedy the reproduced paper's conclusions motivate. Full scan
+// replaces every D flip-flop with a directly controllable and
+// observable scan cell, which turns sequential test generation into a
+// combinational problem and restores the density of encoding to 1
+// (every state is reachable through the scan chain). Partial scan
+// selects a subset of flip-flops, trading area for testability.
+//
+// The package works on the combinational "scan model": the circuit with
+// each scanned flip-flop split into a pseudo primary input (its Q
+// output) and a pseudo primary output (its D input). Tests for the scan
+// model translate into scan-in / capture / scan-out sequences on the
+// real hardware.
+package scan
+
+import (
+	"fmt"
+	"sort"
+
+	"seqatpg/internal/netlist"
+)
+
+// Model is a scan view of a circuit.
+type Model struct {
+	// Comb is the combinational scan model: scanned DFFs replaced by
+	// Input/Output pairs, unscanned DFFs left sequential.
+	Comb *netlist.Circuit
+	// Scanned lists the original DFF gate ids that were put on the
+	// chain, in chain order.
+	Scanned []int
+	// PseudoPI[i] is the scan-model Input gate standing in for
+	// Scanned[i]'s Q pin; PseudoPO[i] the Output observing its D pin.
+	PseudoPI []int
+	PseudoPO []int
+}
+
+// FullScan builds the scan model with every flip-flop on the chain. The
+// result is purely combinational (no DFFs remain).
+func FullScan(c *netlist.Circuit) (*Model, error) {
+	return Insert(c, append([]int(nil), c.DFFs...))
+}
+
+// Insert builds the scan model with the given DFF gate ids scanned.
+func Insert(c *netlist.Circuit, dffs []int) (*Model, error) {
+	scanned := map[int]bool{}
+	for _, id := range dffs {
+		if id < 0 || id >= len(c.Gates) || c.Gates[id].Type != netlist.DFF {
+			return nil, fmt.Errorf("scan: gate %d is not a DFF", id)
+		}
+		if scanned[id] {
+			return nil, fmt.Errorf("scan: DFF %d listed twice", id)
+		}
+		scanned[id] = true
+	}
+	m := &Model{Comb: netlist.New(c.Name + ".scan")}
+	out := m.Comb
+	remap := make([]int, len(c.Gates))
+	// First pass: copy every gate; scanned DFFs become Inputs.
+	for id, g := range c.Gates {
+		if scanned[id] {
+			remap[id] = out.AddGate(netlist.Input, g.Name+"_si")
+		} else {
+			remap[id] = out.AddGate(g.Type, g.Name)
+		}
+	}
+	// Second pass: fanins, plus pseudo-POs for the scanned D pins.
+	for id, g := range c.Gates {
+		if scanned[id] {
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for k, f := range g.Fanin {
+			fanin[k] = remap[f]
+		}
+		out.Gates[remap[id]].Fanin = fanin
+	}
+	if c.ResetPI >= 0 {
+		out.ResetPI = remap[c.ResetPI]
+	}
+	// Chain order: original DFF order restricted to the scanned set.
+	for _, id := range c.DFFs {
+		if !scanned[id] {
+			continue
+		}
+		m.Scanned = append(m.Scanned, id)
+		m.PseudoPI = append(m.PseudoPI, remap[id])
+		po := out.AddGate(netlist.Output, c.Gates[id].Name+"_so", remap[c.Gates[id].Fanin[0]])
+		m.PseudoPO = append(m.PseudoPO, po)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("scan: model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// AreaOverhead estimates the relative cell-area cost of scanning the
+// chain: a scan cell is modeled as the DFF plus a 2-input mux (one
+// extra equivalent gate of area muxArea each).
+func (m *Model) AreaOverhead(c *netlist.Circuit, lib *netlist.Library) float64 {
+	const muxArea = 3.0
+	base := 0.0
+	for _, g := range c.Gates {
+		base += lib.Area(g.Type, len(g.Fanin))
+	}
+	if base == 0 {
+		return 0
+	}
+	return muxArea * float64(len(m.Scanned)) / base
+}
+
+// SelectCycleBreaking chooses a partial-scan set that cuts every
+// register-to-register cycle, the classic partial-scan heuristic
+// (Cheng & Agrawal): scanned flip-flops break the sequential loops that
+// force deep state justification, while registers on acyclic paths are
+// left alone. It greedily removes the DFF with the highest degree
+// product in the remaining register dependency graph until the graph is
+// acyclic, and returns DFF gate ids in chain order.
+func SelectCycleBreaking(c *netlist.Circuit) ([]int, error) {
+	n := len(c.DFFs)
+	idx := map[int]int{}
+	for i, id := range c.DFFs {
+		idx[id] = i
+	}
+	// Register dependency graph: edge i -> j when DFF i's output reaches
+	// DFF j's D input combinationally.
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	fanouts := c.Fanouts()
+	for i, id := range c.DFFs {
+		seen := make([]bool, len(c.Gates))
+		stack := append([]int(nil), fanouts[id]...)
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			switch c.Gates[g].Type {
+			case netlist.DFF:
+				adj[i][idx[g]] = true
+			case netlist.Output:
+			default:
+				stack = append(stack, fanouts[g]...)
+			}
+		}
+	}
+	removed := make([]bool, n)
+	var chosen []int
+	for {
+		if acyclic(adj, removed) {
+			break
+		}
+		// Greedy: remove the vertex with max (indegree × outdegree),
+		// self-loops count heavily (they always need scanning).
+		best, bestScore := -1, -1
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			in, outd, self := 0, 0, 0
+			for u := 0; u < n; u++ {
+				if removed[u] {
+					continue
+				}
+				if adj[u][v] {
+					in++
+				}
+				if adj[v][u] {
+					outd++
+				}
+			}
+			if adj[v][v] {
+				self = n * n
+			}
+			score := in*outd + self
+			if score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("scan: cycle-breaking selection stuck")
+		}
+		removed[best] = true
+		chosen = append(chosen, c.DFFs[best])
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// acyclic reports whether the register graph minus removed vertices has
+// no cycles.
+func acyclic(adj [][]bool, removed []bool) bool {
+	n := len(adj)
+	state := make([]byte, n) // 0 new, 1 active, 2 done
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		state[v] = 1
+		for u := 0; u < n; u++ {
+			if !adj[v][u] || removed[u] {
+				continue
+			}
+			switch state[u] {
+			case 1:
+				return false
+			case 0:
+				if !visit(u) {
+					return false
+				}
+			}
+		}
+		state[v] = 2
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if removed[v] || state[v] != 0 {
+			continue
+		}
+		if !visit(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+
+	"seqatpg/internal/netlist"
+)
+
+// EventSim is an event-driven three-valued sequential simulator: only
+// gates whose fanins changed are re-evaluated, which is the classic
+// optimization (PROOFS lineage) for long test sequences where activity
+// per vector is low. Semantics are identical to Simulator.
+type EventSim struct {
+	c       *netlist.Circuit
+	order   []int // topological order
+	pos     []int // gate id -> position in order
+	fanouts [][]int
+	vals    []Val
+	state   []Val
+
+	// scheduled marks gates queued for evaluation this cycle; the queue
+	// is drained in topological position order via a simple bucket list.
+	scheduled []bool
+	buckets   [][]int
+}
+
+// NewEventSim builds an event-driven simulator; all DFFs power up at X.
+func NewEventSim(c *netlist.Circuit) (*EventSim, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &EventSim{
+		c:         c,
+		order:     order,
+		pos:       make([]int, len(c.Gates)),
+		fanouts:   c.Fanouts(),
+		vals:      make([]Val, len(c.Gates)),
+		state:     make([]Val, len(c.DFFs)),
+		scheduled: make([]bool, len(c.Gates)),
+		buckets:   make([][]int, len(order)),
+	}
+	for i, id := range order {
+		s.pos[id] = i
+	}
+	for i := range s.vals {
+		s.vals[i] = VX
+	}
+	s.PowerUp()
+	// Initial full evaluation pass is implied by everything being X and
+	// inputs unset; the first Step schedules all sources.
+	for id := range c.Gates {
+		s.schedule(id)
+	}
+	return s, nil
+}
+
+// PowerUp resets every DFF to X.
+func (s *EventSim) PowerUp() {
+	for i := range s.state {
+		if s.state[i] != VX {
+			s.state[i] = VX
+			s.schedule(s.c.DFFs[i])
+		}
+	}
+}
+
+// SetState forces the DFF values.
+func (s *EventSim) SetState(vals []Val) error {
+	if len(vals) != len(s.state) {
+		return fmt.Errorf("sim: state width %d, want %d", len(vals), len(s.state))
+	}
+	for i, v := range vals {
+		if s.state[i] != v {
+			s.state[i] = v
+			s.schedule(s.c.DFFs[i])
+		}
+	}
+	return nil
+}
+
+// State returns a copy of the DFF values.
+func (s *EventSim) State() []Val { return append([]Val(nil), s.state...) }
+
+func (s *EventSim) schedule(id int) {
+	if !s.scheduled[id] {
+		s.scheduled[id] = true
+		p := s.pos[id]
+		s.buckets[p] = append(s.buckets[p], id)
+	}
+}
+
+// Step applies one clock cycle and returns the PO values before the
+// edge. Evaluations counts gate evaluations performed (the activity
+// measure).
+func (s *EventSim) Step(inputs []Val) (outs []Val, evaluations int, err error) {
+	if len(inputs) != len(s.c.PIs) {
+		return nil, 0, fmt.Errorf("sim: %d inputs, want %d", len(inputs), len(s.c.PIs))
+	}
+	for i, id := range s.c.PIs {
+		if s.vals[id] != inputs[i] {
+			s.vals[id] = inputs[i]
+			for _, o := range s.fanouts[id] {
+				s.schedule(o)
+			}
+		}
+	}
+	for i, id := range s.c.DFFs {
+		if s.vals[id] != s.state[i] {
+			s.vals[id] = s.state[i]
+			for _, o := range s.fanouts[id] {
+				s.schedule(o)
+			}
+		}
+	}
+	// Drain the buckets in topological order; a changed gate schedules
+	// its fanouts (which sit at later positions, except DFFs which are
+	// handled at the clock edge).
+	in := make([]Val, netlist.MaxFanin)
+	for p := 0; p < len(s.buckets); p++ {
+		for _, id := range s.buckets[p] {
+			s.scheduled[id] = false
+			g := s.c.Gates[id]
+			switch g.Type {
+			case netlist.Input, netlist.DFF:
+				continue // loaded above; value changes already propagated
+			}
+			args := in[:len(g.Fanin)]
+			for k, f := range g.Fanin {
+				args[k] = s.vals[f]
+			}
+			v := EvalGate(g.Type, args)
+			evaluations++
+			if v != s.vals[id] {
+				s.vals[id] = v
+				for _, o := range s.fanouts[id] {
+					if s.c.Gates[o].Type != netlist.DFF {
+						s.schedule(o)
+					}
+				}
+			}
+		}
+		s.buckets[p] = s.buckets[p][:0]
+	}
+	outs = make([]Val, len(s.c.POs))
+	for i, id := range s.c.POs {
+		outs[i] = s.vals[id]
+	}
+	// Clock edge: capture D values.
+	for i, id := range s.c.DFFs {
+		s.state[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	}
+	return outs, evaluations, nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqatpg/internal/netlist"
+)
+
+// randomSeq builds a random sequential circuit with nIn inputs, nGates
+// gates and two reset-gated DFFs.
+func randomSeq(rng *rand.Rand, nIn, nGates int) *netlist.Circuit {
+	c := netlist.New("ev")
+	reset := c.AddGate(netlist.Input, "reset")
+	c.ResetPI = reset
+	for i := 0; i < nIn; i++ {
+		c.AddGate(netlist.Input, "")
+	}
+	nr := c.AddGate(netlist.Not, "nr", reset)
+	ff1 := c.AddGate(netlist.DFF, "q1", 0)
+	ff2 := c.AddGate(netlist.DFF, "q2", 0)
+	last := nr
+	for i := 0; i < nGates; i++ {
+		types := []netlist.GateType{netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor, netlist.Not, netlist.Buf}
+		gt := types[rng.Intn(len(types))]
+		n := 2
+		if gt == netlist.Not || gt == netlist.Buf {
+			n = 1
+		}
+		fanin := make([]int, n)
+		for k := range fanin {
+			fanin[k] = rng.Intn(len(c.Gates))
+		}
+		last = c.AddGate(gt, "", fanin...)
+	}
+	c.Gates[ff1].Fanin[0] = c.AddGate(netlist.And, "d1", nr, last)
+	c.Gates[ff2].Fanin[0] = c.AddGate(netlist.And, "d2", nr, ff1)
+	c.AddGate(netlist.Output, "o1", last)
+	c.AddGate(netlist.Output, "o2", ff2)
+	return c
+}
+
+// TestEventSimMatchesOblivious: identical outputs and states over long
+// random sequences, across many random circuits.
+func TestEventSimMatchesOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		c := randomSeq(rng, 4, 20)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEventSim(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 50; step++ {
+			vec := make([]Val, len(c.PIs))
+			for i := range vec {
+				vec[i] = Val(rng.Intn(3)) // include X inputs
+			}
+			if step == 0 {
+				vec[0] = V1 // reset first
+			}
+			want, err := ref.Step(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ev.Step(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if want[k] != got[k] {
+					t.Fatalf("trial %d step %d output %d: event %v vs oblivious %v",
+						trial, step, k, got[k], want[k])
+				}
+			}
+			ws, gs := ref.State(), ev.State()
+			for k := range ws {
+				if ws[k] != gs[k] {
+					t.Fatalf("trial %d step %d state %d diverged", trial, step, k)
+				}
+			}
+		}
+	}
+}
+
+// TestEventSimActivityDrops: after the first full evaluation, a
+// repeated identical vector must cost (near) zero evaluations.
+func TestEventSimActivityDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomSeq(rng, 4, 30)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEventSim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]Val, len(c.PIs))
+	vec[0] = V1 // hold reset: state stabilizes
+	var first, later int
+	if _, first, err = ev.Step(vec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, later, err = ev.Step(vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if later >= first {
+		t.Errorf("activity did not drop: first=%d later=%d", first, later)
+	}
+	if later > len(c.Gates)/2 {
+		t.Errorf("steady-state activity suspiciously high: %d of %d gates", later, len(c.Gates))
+	}
+}
+
+func TestEventSimSetStateSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := randomSeq(rng, 3, 15)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewSimulator(c)
+	ev, _ := NewEventSim(c)
+	st := make([]Val, len(c.DFFs))
+	for i := range st {
+		st[i] = V1
+	}
+	ref.SetState(st)
+	if err := ev.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]Val, len(c.PIs))
+	want, _ := ref.Step(vec)
+	got, _, err := ev.Step(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if want[k] != got[k] {
+			t.Fatalf("output %d: %v vs %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestEventSimWidthErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomSeq(rng, 3, 10)
+	ev, err := NewEventSim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ev.Step([]Val{V0}); err == nil {
+		t.Error("wrong width must error")
+	}
+	if err := ev.SetState([]Val{V0}); err == nil {
+		t.Error("wrong state width must error")
+	}
+}

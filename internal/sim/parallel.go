@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+
+	"seqatpg/internal/netlist"
+)
+
+// PVal is a 64-way parallel three-valued word in two-rail encoding:
+// bit i of Zero means pattern i is 0, bit i of One means pattern i is 1,
+// neither bit set means X. (Both set is illegal.)
+type PVal struct {
+	Zero, One uint64
+}
+
+// PX returns a word of 64 X values.
+func PX() PVal { return PVal{} }
+
+// PConst returns a word with all 64 patterns at the same binary value.
+func PConst(v Val) PVal {
+	switch v {
+	case V0:
+		return PVal{Zero: ^uint64(0)}
+	case V1:
+		return PVal{One: ^uint64(0)}
+	default:
+		return PVal{}
+	}
+}
+
+// Get extracts pattern i's value from the word.
+func (p PVal) Get(i uint) Val {
+	switch {
+	case (p.Zero>>i)&1 == 1:
+		return V0
+	case (p.One>>i)&1 == 1:
+		return V1
+	default:
+		return VX
+	}
+}
+
+// Set assigns pattern i's value in the word.
+func (p *PVal) Set(i uint, v Val) {
+	p.Zero &^= 1 << i
+	p.One &^= 1 << i
+	switch v {
+	case V0:
+		p.Zero |= 1 << i
+	case V1:
+		p.One |= 1 << i
+	}
+}
+
+// pnot, pand, por, pxor are the two-rail gate evaluations.
+func pnot(a PVal) PVal { return PVal{Zero: a.One, One: a.Zero} }
+
+func pand(a, b PVal) PVal {
+	return PVal{Zero: a.Zero | b.Zero, One: a.One & b.One}
+}
+
+func por(a, b PVal) PVal {
+	return PVal{Zero: a.Zero & b.Zero, One: a.One | b.One}
+}
+
+func pxor(a, b PVal) PVal {
+	known := (a.Zero | a.One) & (b.Zero | b.One)
+	ones := (a.One & b.Zero) | (a.Zero & b.One)
+	return PVal{Zero: known &^ ones, One: ones}
+}
+
+// EvalGateP computes a gate's parallel output from its fanin words.
+func EvalGateP(t netlist.GateType, in []PVal) PVal {
+	switch t {
+	case netlist.Buf, netlist.Output, netlist.DFF:
+		return in[0]
+	case netlist.Not:
+		return pnot(in[0])
+	case netlist.And, netlist.Nand:
+		acc := PConst(V1)
+		for _, v := range in {
+			acc = pand(acc, v)
+		}
+		if t == netlist.Nand {
+			return pnot(acc)
+		}
+		return acc
+	case netlist.Or, netlist.Nor:
+		acc := PConst(V0)
+		for _, v := range in {
+			acc = por(acc, v)
+		}
+		if t == netlist.Nor {
+			return pnot(acc)
+		}
+		return acc
+	case netlist.Xor, netlist.Xnor:
+		acc := PConst(V0)
+		for _, v := range in {
+			acc = pxor(acc, v)
+		}
+		if t == netlist.Xnor {
+			return pnot(acc)
+		}
+		return acc
+	case netlist.Const0:
+		return PConst(V0)
+	case netlist.Const1:
+		return PConst(V1)
+	default:
+		return PX()
+	}
+}
+
+// PSim is a 64-way parallel-pattern sequential simulator: 64 independent
+// pattern streams advance in lockstep through the same circuit.
+type PSim struct {
+	c     *netlist.Circuit
+	order []int
+	vals  []PVal
+	state []PVal
+}
+
+// NewPSim builds a parallel simulator with all 64 streams powered up at X.
+func NewPSim(c *netlist.Circuit) (*PSim, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &PSim{
+		c:     c,
+		order: order,
+		vals:  make([]PVal, len(c.Gates)),
+		state: make([]PVal, len(c.DFFs)),
+	}, nil
+}
+
+// PowerUp resets all 64 streams to the all-X state.
+func (s *PSim) PowerUp() {
+	for i := range s.state {
+		s.state[i] = PX()
+	}
+}
+
+// Step advances all streams one cycle and returns PO words.
+func (s *PSim) Step(inputs []PVal) ([]PVal, error) {
+	if len(inputs) != len(s.c.PIs) {
+		return nil, fmt.Errorf("sim: %d parallel inputs, want %d", len(inputs), len(s.c.PIs))
+	}
+	for i, id := range s.c.PIs {
+		s.vals[id] = inputs[i]
+	}
+	for i, id := range s.c.DFFs {
+		s.vals[id] = s.state[i]
+	}
+	for _, id := range s.order {
+		g := s.c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		default:
+			in := make([]PVal, len(g.Fanin))
+			for k, f := range g.Fanin {
+				in[k] = s.vals[f]
+			}
+			s.vals[id] = EvalGateP(g.Type, in)
+		}
+	}
+	outs := make([]PVal, len(s.c.POs))
+	for i, id := range s.c.POs {
+		outs[i] = s.vals[id]
+	}
+	for i, id := range s.c.DFFs {
+		s.state[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	}
+	return outs, nil
+}
+
+// State returns a copy of the parallel DFF words.
+func (s *PSim) State() []PVal { return append([]PVal(nil), s.state...) }
+
+// SetState forces the parallel DFF words (must match NumDFFs in length).
+func (s *PSim) SetState(vals []PVal) error {
+	if len(vals) != len(s.state) {
+		return fmt.Errorf("sim: parallel state width %d, want %d", len(vals), len(s.state))
+	}
+	copy(s.state, vals)
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package sim provides sequential logic simulation for netlist circuits:
+// a scalar three-valued (0/1/X) simulator used for initialization and
+// test application, and a 64-way bit-parallel pattern simulator used by
+// the random phases of the ATPG engines.
+package sim
+
+import (
+	"fmt"
+
+	"seqatpg/internal/netlist"
+)
+
+// Val is a three-valued logic value.
+type Val byte
+
+// Three-valued logic constants.
+const (
+	V0 Val = iota
+	V1
+	VX
+)
+
+// String returns "0", "1" or "X".
+func (v Val) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// NotV returns three-valued NOT.
+func NotV(a Val) Val {
+	switch a {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// AndV returns three-valued AND over the operands.
+func AndV(vals ...Val) Val {
+	sawX := false
+	for _, v := range vals {
+		switch v {
+		case V0:
+			return V0
+		case VX:
+			sawX = true
+		}
+	}
+	if sawX {
+		return VX
+	}
+	return V1
+}
+
+// OrV returns three-valued OR over the operands.
+func OrV(vals ...Val) Val {
+	sawX := false
+	for _, v := range vals {
+		switch v {
+		case V1:
+			return V1
+		case VX:
+			sawX = true
+		}
+	}
+	if sawX {
+		return VX
+	}
+	return V0
+}
+
+// XorV returns three-valued XOR over the operands.
+func XorV(vals ...Val) Val {
+	parity := V0
+	for _, v := range vals {
+		if v == VX {
+			return VX
+		}
+		if v == V1 {
+			parity = NotV(parity)
+		}
+	}
+	return parity
+}
+
+// EvalGate computes a gate's output from its fanin values.
+func EvalGate(t netlist.GateType, in []Val) Val {
+	switch t {
+	case netlist.Buf, netlist.Output, netlist.DFF:
+		return in[0]
+	case netlist.Not:
+		return NotV(in[0])
+	case netlist.And:
+		return AndV(in...)
+	case netlist.Nand:
+		return NotV(AndV(in...))
+	case netlist.Or:
+		return OrV(in...)
+	case netlist.Nor:
+		return NotV(OrV(in...))
+	case netlist.Xor:
+		return XorV(in...)
+	case netlist.Xnor:
+		return NotV(XorV(in...))
+	case netlist.Const0:
+		return V0
+	case netlist.Const1:
+		return V1
+	default:
+		return VX
+	}
+}
+
+// Simulator is a scalar three-valued sequential simulator. State lives
+// in the DFFs; Step evaluates one clock cycle.
+type Simulator struct {
+	c     *netlist.Circuit
+	order []int
+	vals  []Val // per-gate value of the current evaluation
+	state []Val // per-DFF Q value (indexed like c.DFFs)
+}
+
+// NewSimulator builds a simulator; the circuit must be valid. All DFFs
+// power up at X.
+func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		c:     c,
+		order: order,
+		vals:  make([]Val, len(c.Gates)),
+		state: make([]Val, len(c.DFFs)),
+	}
+	s.PowerUp()
+	return s, nil
+}
+
+// PowerUp sets every DFF to X (the unknown power-on state).
+func (s *Simulator) PowerUp() {
+	for i := range s.state {
+		s.state[i] = VX
+	}
+}
+
+// SetState forces the DFF values (must match NumDFFs in length).
+func (s *Simulator) SetState(vals []Val) error {
+	if len(vals) != len(s.state) {
+		return fmt.Errorf("sim: state width %d, want %d", len(vals), len(s.state))
+	}
+	copy(s.state, vals)
+	return nil
+}
+
+// State returns a copy of the current DFF values.
+func (s *Simulator) State() []Val {
+	return append([]Val(nil), s.state...)
+}
+
+// StateKnown reports whether every DFF holds a binary value.
+func (s *Simulator) StateKnown() bool {
+	for _, v := range s.state {
+		if v == VX {
+			return false
+		}
+	}
+	return true
+}
+
+// StateBits packs a fully known state into a bit vector (bit i = DFF i).
+// The second result is false when any DFF is X.
+func (s *Simulator) StateBits() (uint64, bool) {
+	var out uint64
+	for i, v := range s.state {
+		switch v {
+		case V1:
+			out |= 1 << uint(i)
+		case VX:
+			return 0, false
+		}
+	}
+	return out, true
+}
+
+// Eval evaluates the combinational logic for the given PI values without
+// clocking the DFFs, and returns the PO values.
+func (s *Simulator) Eval(inputs []Val) ([]Val, error) {
+	if len(inputs) != len(s.c.PIs) {
+		return nil, fmt.Errorf("sim: %d inputs, want %d", len(inputs), len(s.c.PIs))
+	}
+	for i, id := range s.c.PIs {
+		s.vals[id] = inputs[i]
+	}
+	for i, id := range s.c.DFFs {
+		s.vals[id] = s.state[i]
+	}
+	for _, id := range s.order {
+		g := s.c.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		default:
+			in := make([]Val, len(g.Fanin))
+			for k, f := range g.Fanin {
+				in[k] = s.vals[f]
+			}
+			s.vals[id] = EvalGate(g.Type, in)
+		}
+	}
+	outs := make([]Val, len(s.c.POs))
+	for i, id := range s.c.POs {
+		outs[i] = s.vals[id]
+	}
+	return outs, nil
+}
+
+// Step evaluates one clock cycle: combinational evaluation at the given
+// inputs, then a simultaneous DFF update. Returns the PO values sampled
+// before the clock edge.
+func (s *Simulator) Step(inputs []Val) ([]Val, error) {
+	outs, err := s.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	next := make([]Val, len(s.c.DFFs))
+	for i, id := range s.c.DFFs {
+		next[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	}
+	copy(s.state, next)
+	return outs, nil
+}
+
+// Value returns the value of gate id from the latest evaluation.
+func (s *Simulator) Value(id int) Val { return s.vals[id] }

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVectors serializes test sequences in the project's plain vector
+// format: one line of 0/1/X characters per clock cycle (one character
+// per primary input, in PI order), with a blank line between sequences
+// and '#' comments.
+func WriteVectors(w io.Writer, seqs [][][]Val) error {
+	bw := bufio.NewWriter(w)
+	for s, seq := range seqs {
+		if s > 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "# sequence %d (%d cycles)\n", s+1, len(seq))
+		for _, vec := range seq {
+			for _, v := range vec {
+				bw.WriteString(v.String())
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVectors parses the vector format written by WriteVectors. Every
+// line must have width characters; sequences are separated by blank
+// lines.
+func ReadVectors(r io.Reader, width int) ([][][]Val, error) {
+	var seqs [][][]Val
+	var cur [][]Val
+	flush := func() {
+		if len(cur) > 0 {
+			seqs = append(seqs, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		if len(text) != width {
+			return nil, fmt.Errorf("vectors line %d: width %d, want %d", line, len(text), width)
+		}
+		vec := make([]Val, width)
+		for i, ch := range text {
+			switch ch {
+			case '0':
+				vec[i] = V0
+			case '1':
+				vec[i] = V1
+			case 'x', 'X', '-':
+				vec[i] = VX
+			default:
+				return nil, fmt.Errorf("vectors line %d: bad character %q", line, ch)
+			}
+		}
+		cur = append(cur, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return seqs, nil
+}

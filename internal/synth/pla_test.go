@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seqatpg/internal/logic"
+	"seqatpg/internal/sim"
+)
+
+func TestLowerPLACarry(t *testing.T) {
+	src := `.i 3
+.o 2
+11- 10
+1-1 10
+-11 10
+111 01
+.e`
+	p, err := logic.ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, script := range []Script{Rugged, Delay} {
+		c, err := LowerPLA(p, "carry", script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on0, on1 := p.OnSet(0), p.OnSet(1)
+		for m := uint64(0); m < 8; m++ {
+			vec := make([]sim.Val, 3)
+			for i := 0; i < 3; i++ {
+				if (m>>uint(i))&1 == 1 {
+					vec[i] = sim.V1
+				}
+			}
+			outs, err := s.Eval(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want0, want1 := on0.Eval(m), on1.Eval(m)
+			if (outs[0] == sim.V1) != want0 || (outs[1] == sim.V1) != want1 {
+				t.Fatalf("%v: minterm %03b gave %v/%v, want %v/%v",
+					script, m, outs[0], outs[1], want0, want1)
+			}
+		}
+	}
+}
+
+// TestLowerPLARandom cross-checks random PLAs exhaustively.
+func TestLowerPLARandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		nIn, nOut := 3+rng.Intn(3), 1+rng.Intn(3)
+		p := &logic.PLA{NumInputs: nIn, NumOutputs: nOut}
+		rows := 2 + rng.Intn(8)
+		for r := 0; r < rows; r++ {
+			in := make(logic.Cube, nIn)
+			for i := range in {
+				in[i] = logic.Value(rng.Intn(3))
+			}
+			out := make(logic.Cube, nOut)
+			for j := range out {
+				out[j] = logic.Value(rng.Intn(2)) // ON or OFF, no DC here
+			}
+			p.Rows = append(p.Rows, logic.PLARow{Input: in, Output: out})
+		}
+		c, err := LowerPLA(p, "rand", Rugged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := uint64(0); m < 1<<uint(nIn); m++ {
+			vec := make([]sim.Val, nIn)
+			for i := 0; i < nIn; i++ {
+				if (m>>uint(i))&1 == 1 {
+					vec[i] = sim.V1
+				}
+			}
+			outs, err := s.Eval(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < nOut; j++ {
+				want := p.OnSet(j).Eval(m)
+				if (outs[j] == sim.V1) != want {
+					t.Fatalf("trial %d output %d minterm %b: got %v want %v",
+						trial, j, m, outs[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerPLARejectsEmpty(t *testing.T) {
+	if _, err := LowerPLA(&logic.PLA{}, "bad", Rugged); err == nil {
+		t.Error("empty PLA must be rejected")
+	}
+}
