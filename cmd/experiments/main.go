@@ -8,12 +8,22 @@
 //	experiments -table 2        # a single table
 //	experiments -figure 3       # the figure
 //	experiments -quick -all     # smoke-test budgets
+//	experiments -all -deadline 6h
+//
+// A SIGINT/SIGTERM or an expired -deadline stops the current run at the
+// next effort charge; completed tables have already been printed. Exit
+// codes: 0 everything succeeded, 1 at least one table failed, 2 usage
+// error, 4 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"seqatpg/internal/bench"
@@ -25,22 +35,42 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	quick := flag.Bool("quick", false, "use small smoke-test budgets")
+	deadline := flag.Duration("deadline", 0, "stop cooperatively after this wall-clock budget (0 = none)")
 	flag.Parse()
 
 	budget := bench.FullBudget()
 	if *quick {
 		budget = bench.QuickBudget()
 	}
-	s := bench.NewSuite(budget)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	s := bench.NewSuiteCtx(ctx, budget)
+
+	interrupted := false
+	failed := false
 	run := func(name string, f func() (string, error)) {
+		if interrupted {
+			return
+		}
 		start := time.Now()
 		out, err := f()
-		if err != nil {
+		switch {
+		case err == nil:
+			fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out)
+		case errors.Is(err, bench.ErrInterrupted) || ctx.Err() != nil:
+			fmt.Fprintf(os.Stderr, "%s interrupted after %.1fs: %v\n", name, time.Since(start).Seconds(), err)
+			interrupted = true
+		default:
+			// A single broken table must not cost the remaining ones.
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
-			os.Exit(1)
+			failed = true
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out)
 	}
 
 	tables := map[int]func() (string, error){
@@ -70,5 +100,11 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	switch {
+	case interrupted:
+		os.Exit(4)
+	case failed:
+		os.Exit(1)
 	}
 }

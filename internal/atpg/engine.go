@@ -2,7 +2,6 @@ package atpg
 
 import (
 	"fmt"
-	"math/rand"
 
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
@@ -10,14 +9,20 @@ import (
 )
 
 // Config tunes an engine run. The three paper engines are presets over
-// this structure (see the hitec, attest and sest sub-packages).
+// this structure (see the hitec, attest and sest sub-packages). New
+// validates the configuration up front (see Validate); the only silent
+// coercions are FlushCycles < 1 -> 1 and MaxBackSteps == 0 -> 30.
 type Config struct {
 	Name string
-	// MaxFrames caps the forward time-frame window for propagation.
+	// MaxFrames caps the forward time-frame window for propagation. It
+	// must be at least 1; there is no default.
 	MaxFrames int
-	// MaxBackSteps caps the backward state-justification depth.
+	// MaxBackSteps caps the backward state-justification depth. Zero
+	// selects the default of 30; negative values are rejected.
 	MaxBackSteps int
-	// BacktrackLimit caps PODEM backtracks per search.
+	// BacktrackLimit caps PODEM backtracks per search. Zero means
+	// unlimited (the effort budget still bounds the search); negative
+	// values are rejected.
 	BacktrackLimit int
 	// FaultBudget is the effort (in gate-evaluations) each fault may
 	// consume before being aborted.
@@ -48,12 +53,41 @@ type Config struct {
 	Seed        int64
 }
 
+// Validate rejects configurations that would otherwise start a silent
+// unbounded or degenerate run: negative effort budgets, a forward
+// window smaller than one frame, and negative backtrack or
+// justification limits. FlushCycles < 1 is deliberately NOT an error —
+// New coerces it to 1 so callers may leave it zero for non-retimed
+// circuits.
+func (c Config) Validate() error {
+	switch {
+	case c.FaultBudget < 0:
+		return fmt.Errorf("atpg: config %q: negative FaultBudget %d", c.Name, c.FaultBudget)
+	case c.TotalBudget < 0:
+		return fmt.Errorf("atpg: config %q: negative TotalBudget %d", c.Name, c.TotalBudget)
+	case c.MaxFrames < 1:
+		return fmt.Errorf("atpg: config %q: MaxFrames %d, want >= 1", c.Name, c.MaxFrames)
+	case c.MaxBackSteps < 0:
+		return fmt.Errorf("atpg: config %q: negative MaxBackSteps %d", c.Name, c.MaxBackSteps)
+	case c.BacktrackLimit < 0:
+		return fmt.Errorf("atpg: config %q: negative BacktrackLimit %d (use 0 for unlimited)", c.Name, c.BacktrackLimit)
+	case c.RandomSequences < 0:
+		return fmt.Errorf("atpg: config %q: negative RandomSequences %d", c.Name, c.RandomSequences)
+	case c.RandomLength < 0:
+		return fmt.Errorf("atpg: config %q: negative RandomLength %d", c.Name, c.RandomLength)
+	}
+	return nil
+}
+
 // Stats aggregates the run counters the experiments report.
 type Stats struct {
-	Total       int
-	Detected    int
-	Redundant   int
-	Aborted     int
+	Total     int
+	Detected  int
+	Redundant int
+	Aborted   int
+	// Crashed counts faults whose search panicked; the panic is
+	// recovered, recorded (see FaultCrash) and the run continues.
+	Crashed     int
 	Unconfirmed int
 	Effort      int64 // deterministic CPU proxy: gate-frame evaluations
 	Backtracks  int64
@@ -83,15 +117,6 @@ func (s Stats) FE() float64 {
 	return 100 * float64(s.Detected+s.Redundant) / float64(s.Total)
 }
 
-// Result is the outcome of a run: the generated tests, the per-fault
-// outcomes (parallel to the fault list given to RunFaults), and the
-// aggregate counters.
-type Result struct {
-	Tests    [][][]sim.Val // one sequence per accepted test (flush prefix included)
-	Outcomes []Outcome     // parallel to the fault list
-	Stats    Stats
-}
-
 // Engine is one ATPG run over one circuit.
 type Engine struct {
 	c     *netlist.Circuit
@@ -109,14 +134,30 @@ type Engine struct {
 	totalLeft    int64
 	outOfBudget  bool
 	failedCubes  map[string]bool
+	failedKeys   []string               // insertion order of failedCubes (rollback journal)
 	achieved     map[string][][]sim.Val // fault-scoped concrete state -> vectors from reset
 	achievedKeys []achievedKey          // deterministic iteration order
+
+	// cancelDone is the active run's ctx.Done(); cancelled latches once
+	// the channel closes so every subsequent charge fails fast.
+	cancelDone <-chan struct{}
+	cancelled  bool
+
+	// TestHook, when set, is called at the start of every fault search
+	// with the fault's list index. It exists so tests (and the campaign
+	// package's crash-isolation tests) can inject failures; it is not
+	// part of the run's fingerprinted configuration.
+	TestHook func(index int, f fault.Fault)
 
 	Stats Stats
 }
 
-// New builds an engine; the circuit must be valid and have a reset line.
+// New builds an engine; the circuit must be valid and have a reset
+// line, and the configuration must pass Config.Validate.
 func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if c.ResetPI < 0 {
 		return nil, fmt.Errorf("atpg: circuit %s has no reset line", c.Name)
 	}
@@ -124,10 +165,7 @@ func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MaxFrames < 1 {
-		cfg.MaxFrames = 8
-	}
-	if cfg.MaxBackSteps < 1 {
+	if cfg.MaxBackSteps == 0 {
 		cfg.MaxBackSteps = 30
 	}
 	if cfg.FlushCycles < 1 {
@@ -204,8 +242,29 @@ func (e *Engine) computeFlush() error {
 	return nil
 }
 
-// charge burns effort; false means a budget ran out.
+// checkCancel polls the active run's context; once cancellation is
+// observed it latches, so searches wind down at the next charge.
+func (e *Engine) checkCancel() bool {
+	if e.cancelled {
+		return true
+	}
+	if e.cancelDone != nil {
+		select {
+		case <-e.cancelDone:
+			e.cancelled = true
+		default:
+		}
+	}
+	return e.cancelled
+}
+
+// charge burns effort; false means a budget ran out (or the run was
+// cancelled — a cancelled charge burns nothing, so the rollback to the
+// last fault boundary stays exact).
 func (e *Engine) charge(frames int64) bool {
+	if e.checkCancel() {
+		return false
+	}
 	cost := frames * int64(len(e.order))
 	e.Stats.Effort += cost
 	e.remaining -= cost
@@ -217,133 +276,6 @@ func (e *Engine) charge(frames int64) bool {
 		}
 	}
 	return e.remaining > 0
-}
-
-// Run generates tests for the whole collapsed fault universe.
-func (e *Engine) Run() (*Result, error) {
-	faults := fault.CollapsedUniverse(e.c)
-	return e.RunFaults(faults)
-}
-
-// RunFaults generates tests for the given fault list.
-func (e *Engine) RunFaults(faults []fault.Fault) (*Result, error) {
-	res := &Result{Outcomes: make([]Outcome, len(faults))}
-	e.Stats.Total = len(faults)
-	e.totalLeft = e.cfg.TotalBudget
-	status := make([]byte, len(faults)) // 0 live, 1 detected, 2 redundant, 3 aborted
-
-	dropDetected := func(seq [][]sim.Val) error {
-		var live []fault.Fault
-		var liveIdx []int
-		for i, f := range faults {
-			if status[i] == 0 {
-				live = append(live, f)
-				liveIdx = append(liveIdx, i)
-			}
-		}
-		if len(live) == 0 {
-			return nil
-		}
-		det, err := e.fsim.Detects(seq, live)
-		if err != nil {
-			return err
-		}
-		// Fault simulation cost: one pass per 63 faults.
-		passes := int64(len(live)/63 + 1)
-		e.charge(passes * int64(len(seq)))
-		for k, d := range det {
-			if d {
-				status[liveIdx[k]] = 1
-				e.Stats.Detected++
-			}
-		}
-		return nil
-	}
-
-	recordStates := func(seq [][]sim.Val) {
-		states, err := fault.StateTrace(e.c, seq)
-		if err != nil {
-			return
-		}
-		for st := range states {
-			e.Stats.StatesTraversed[st] = true
-		}
-	}
-
-	// Random preprocessing phase (Attest-style).
-	if e.cfg.RandomSequences > 0 {
-		rng := rand.New(rand.NewSource(e.cfg.Seed + 17))
-		resetIdx := e.piIndexOfReset()
-		for s := 0; s < e.cfg.RandomSequences; s++ {
-			seq := append([][]sim.Val{}, e.flushPrefix...)
-			for v := 0; v < e.cfg.RandomLength; v++ {
-				vec := make([]sim.Val, len(e.c.PIs))
-				for i := range vec {
-					vec[i] = sim.Val(rng.Intn(2))
-				}
-				vec[resetIdx] = sim.V0
-				if rng.Intn(16) == 0 {
-					vec[resetIdx] = sim.V1
-				}
-				seq = append(seq, vec)
-			}
-			before := e.Stats.Detected
-			if err := dropDetected(seq); err != nil {
-				return nil, err
-			}
-			if e.Stats.Detected > before {
-				res.Tests = append(res.Tests, seq)
-				recordStates(seq)
-			}
-			if e.outOfBudget {
-				break
-			}
-		}
-	}
-
-	// Deterministic phase.
-	for i := range faults {
-		if status[i] != 0 {
-			continue
-		}
-		if e.outOfBudget {
-			status[i] = 3
-			e.Stats.Aborted++
-			continue
-		}
-		e.remaining = e.cfg.FaultBudget
-		outcome, seq := e.generate(&faults[i])
-		switch outcome {
-		case Detected:
-			status[i] = 1
-			e.Stats.Detected++
-			res.Tests = append(res.Tests, seq)
-			recordStates(seq)
-			// Drop everything else this sequence catches (this fault is
-			// already marked, so it is not double counted).
-			if err := dropDetected(seq); err != nil {
-				return nil, err
-			}
-		case Redundant:
-			status[i] = 2
-			e.Stats.Redundant++
-		default:
-			status[i] = 3
-			e.Stats.Aborted++
-		}
-	}
-	for i, st := range status {
-		switch st {
-		case 1:
-			res.Outcomes[i] = Detected
-		case 2:
-			res.Outcomes[i] = Redundant
-		default:
-			res.Outcomes[i] = Aborted
-		}
-	}
-	res.Stats = e.Stats
-	return res, nil
 }
 
 func (e *Engine) piIndexOfReset() int {
@@ -367,15 +299,20 @@ const (
 	Detected
 	// Redundant: proven untestable in any sequential context.
 	Redundant
+	// Crashed: the search for this fault panicked; the panic was
+	// recovered and recorded (see Result.Crashes) and the run went on.
+	Crashed
 )
 
-// String returns "aborted", "detected" or "redundant".
+// String returns "aborted", "detected", "redundant" or "crashed".
 func (o Outcome) String() string {
 	switch o {
 	case Detected:
 		return "detected"
 	case Redundant:
 		return "redundant"
+	case Crashed:
+		return "crashed"
 	default:
 		return "aborted"
 	}
@@ -612,6 +549,7 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 	}
 	if out == searchExhausted && e.cfg.Learning {
 		e.failedCubes[fkey+key] = true
+		e.failedKeys = append(e.failedKeys, fkey+key)
 	}
 	return nil, false
 }

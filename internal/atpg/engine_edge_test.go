@@ -34,7 +34,7 @@ func TestFaultyFlushStateDiverges(t *testing.T) {
 	// A stuck-at fault on the reset path makes the faulty machine flush
 	// differently; the composite post-flush state must expose that.
 	c := chain(t)
-	e, err := New(c, Config{FaultBudget: 1_000_000, FlushCycles: 1})
+	e, err := New(c, Config{MaxFrames: 8, FaultBudget: 1_000_000, FlushCycles: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

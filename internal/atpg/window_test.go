@@ -212,7 +212,7 @@ func TestBacktraceStopsAtConstant(t *testing.T) {
 		t.Fatal(err)
 	}
 	order, _ := c.TopoOrder()
-	e, err := New(c, Config{FaultBudget: 1_000, FlushCycles: 1})
+	e, err := New(c, Config{MaxFrames: 1, FaultBudget: 1_000, FlushCycles: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

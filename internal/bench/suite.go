@@ -6,6 +6,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -139,12 +141,18 @@ func (b Budget) totalCap(gates int, retimed bool) int64 {
 	return 0
 }
 
+// ErrInterrupted reports that an ATPG run stopped because the suite's
+// context was cancelled (deadline or signal). Callers distinguish it
+// from real failures with errors.Is.
+var ErrInterrupted = errors.New("bench: run interrupted")
+
 // Suite lazily builds circuits and memoizes ATPG runs so the tables can
 // share them.
 type Suite struct {
 	Lib    *netlist.Library
 	Budget Budget
 
+	ctx      context.Context
 	mu       sync.Mutex
 	machines map[string]*fsm.FSM
 	pairs    map[string]*Pair
@@ -153,13 +161,29 @@ type Suite struct {
 
 // NewSuite creates a suite with the given budget.
 func NewSuite(b Budget) *Suite {
+	return NewSuiteCtx(context.Background(), b)
+}
+
+// NewSuiteCtx creates a suite whose ATPG runs stop cooperatively when
+// ctx is cancelled; an interrupted run surfaces as an error wrapping
+// ErrInterrupted rather than a silently truncated table.
+func NewSuiteCtx(ctx context.Context, b Budget) *Suite {
 	return &Suite{
 		Lib:      netlist.DefaultLibrary(),
 		Budget:   b,
+		ctx:      ctx,
 		machines: map[string]*fsm.FSM{},
 		pairs:    map[string]*Pair{},
 		runs:     map[string]*RunRecord{},
 	}
+}
+
+// context tolerates zero-value Suites built without a constructor.
+func (s *Suite) context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // Machine returns the (minimized) benchmark FSM by name.
@@ -278,9 +302,12 @@ func (s *Suite) Run(engine string, c *netlist.Circuit, flush int) (*RunRecord, e
 		return nil, err
 	}
 	faults := sampleFaults(fault.CollapsedUniverse(c), s.Budget.maxFaults(c.NumGates()))
-	res, err := e.RunFaults(faults)
+	res, err := e.RunFaultsCtx(s.context(), faults)
 	if err != nil {
 		return nil, err
+	}
+	if res.Interrupted {
+		return nil, fmt.Errorf("%w: %s on %s", ErrInterrupted, engine, c.Name)
 	}
 	rec := &RunRecord{Circuit: c, Engine: engine, Result: res, Faults: faults}
 	s.mu.Lock()

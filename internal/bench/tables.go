@@ -484,9 +484,12 @@ func (s *Suite) Figure3() ([]Figure3Point, string, error) {
 			if err != nil {
 				return nil, "", err
 			}
-			res, err := e.RunFaults(faults)
+			res, err := e.RunFaultsCtx(s.context(), faults)
 			if err != nil {
 				return nil, "", err
+			}
+			if res.Interrupted {
+				return nil, "", fmt.Errorf("%w: figure 3 sweep on %s", ErrInterrupted, name)
 			}
 			points = append(points, Figure3Point{
 				Name: name, Budget: cfg.TotalBudget,

@@ -1,0 +1,365 @@
+// Package campaign wraps atpg.Engine runs in a resilient run
+// controller for long ATPG campaigns: cooperative cancellation under a
+// context deadline, periodic checkpoint/resume with a fingerprinted
+// on-disk format, per-fault crash isolation, and retry escalation that
+// re-attacks aborted faults with an exponentially growing budget ladder
+// (the paper's observation is that aborts concentrate in a small hard
+// core, so a 2x/4x second look is cheap relative to the first pass).
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// Config controls one campaign.
+type Config struct {
+	// Engine is the base engine configuration; pass p of the retry
+	// ladder runs with FaultBudget << p and no random preprocessing.
+	Engine atpg.Config
+	// Retries is how many escalation passes follow the first pass.
+	// Each pass re-attacks only the faults the previous pass aborted.
+	Retries int
+	// CheckpointPath enables checkpointing when non-empty: the file is
+	// rewritten at most every CheckpointEvery during the run, always
+	// when the run is interrupted, and removed on success.
+	CheckpointPath string
+	// CheckpointEvery is the minimum wall-clock gap between periodic
+	// checkpoint writes; zero selects 30 seconds.
+	CheckpointEvery time.Duration
+	// Resume loads CheckpointPath (if it exists) and continues the
+	// campaign from it. A checkpoint whose fingerprint does not match
+	// the circuit, config and fault list is rejected with an error
+	// wrapping ErrCheckpointMismatch.
+	Resume bool
+	// Hook is forwarded to every engine pass as its TestHook, with the
+	// index remapped to the original fault list. Test instrumentation
+	// only; it is not fingerprinted.
+	Hook func(index int, f fault.Fault)
+	// Log, when set, receives progress lines (pass starts, checkpoint
+	// writes, crash notices).
+	Log func(format string, args ...any)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Validate rejects nonsensical campaign knobs (the engine config is
+// validated by atpg.New).
+func (c Config) Validate() error {
+	if c.Retries < 0 {
+		return fmt.Errorf("campaign: negative Retries %d", c.Retries)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("campaign: negative CheckpointEvery %v", c.CheckpointEvery)
+	}
+	if c.Resume && c.CheckpointPath == "" {
+		return errors.New("campaign: Resume requires CheckpointPath")
+	}
+	return nil
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	// Outcomes is the final per-fault verdict, parallel to the fault
+	// list. In an interrupted campaign, faults no pass has resolved yet
+	// read as Aborted.
+	Outcomes []atpg.Outcome
+	Tests    [][][]sim.Val
+	// Stats aggregates every pass: outcome counters recomputed from
+	// the final verdicts, effort/backtrack counters summed, traversed
+	// states unioned. An interrupted-then-resumed campaign finishes
+	// with Stats identical to one that was never stopped.
+	Stats atpg.Stats
+	// Crashes holds the recovered panics of all passes, with Index
+	// remapped to the original fault list.
+	Crashes []*atpg.FaultCrash
+	// Interrupted reports the campaign stopped on context cancellation;
+	// a checkpoint (if configured) has been written.
+	Interrupted bool
+	// Resumed reports the campaign started from a checkpoint.
+	Resumed bool
+	// Passes is the number of engine passes that ran to completion.
+	Passes int
+}
+
+// state is the cross-pass campaign state; it is what the checkpoint
+// format serializes.
+type state struct {
+	pass       int   // current pass (0 = initial)
+	passFaults []int // original-list indices the current pass attacks
+	outcomes   []atpg.Outcome
+	done       []bool // outcomes[i] was fixed by a completed pass
+	agg        passAgg
+	states     map[uint64]bool
+	tests      [][][]sim.Val
+	crashes    []*atpg.FaultCrash
+	snap       *atpg.Snapshot // mid-pass boundary snapshot, nil at a pass start
+	resumed    bool
+}
+
+// passAgg sums the monotone effort counters over completed passes.
+type passAgg struct {
+	Effort      int64
+	Backtracks  int64
+	LearnHits   int64
+	LearnPrunes int64
+	Unconfirmed int
+}
+
+func freshState(n int) *state {
+	st := &state{
+		outcomes:   make([]atpg.Outcome, n),
+		done:       make([]bool, n),
+		states:     map[uint64]bool{},
+		passFaults: make([]int, n),
+	}
+	for i := range st.passFaults {
+		st.passFaults[i] = i
+	}
+	return st
+}
+
+// passConfig derives the engine config for pass p: the budget ladder
+// doubles per pass and the random preprocessing phase runs only once.
+func (c Config) passConfig(p int) atpg.Config {
+	cfg := c.Engine
+	if p > 0 {
+		cfg.RandomSequences = 0
+		cfg.RandomLength = 0
+		if cfg.FaultBudget > 0 {
+			shift := uint(p)
+			if cfg.FaultBudget > math.MaxInt64>>shift {
+				cfg.FaultBudget = math.MaxInt64
+			} else {
+				cfg.FaultBudget <<= shift
+			}
+		}
+	}
+	return cfg
+}
+
+// Run executes a campaign over the fault list. It returns a non-nil
+// Result unless setup fails (bad config, unreadable checkpoint,
+// un-buildable engine); interruption is reported in the Result, not as
+// an error.
+func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fp := Fingerprint(c, cfg, faults)
+
+	var st *state
+	if cfg.Resume {
+		loaded, err := loadState(cfg.CheckpointPath, fp, len(faults))
+		if err != nil {
+			return nil, err
+		}
+		if loaded != nil {
+			st = loaded
+			st.resumed = true
+			cfg.logf("campaign: resumed from %s (pass %d, %d faults pending)", cfg.CheckpointPath, st.pass, len(st.passFaults))
+		} else {
+			cfg.logf("campaign: no checkpoint at %s, starting fresh", cfg.CheckpointPath)
+		}
+	}
+	if st == nil {
+		st = freshState(len(faults))
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	lastWrite := time.Now()
+
+	for st.pass <= cfg.Retries && len(st.passFaults) > 0 {
+		if ctx.Err() != nil {
+			return finishInterrupted(ctx, cfg, fp, st)
+		}
+		ecfg := cfg.passConfig(st.pass)
+		e, err := atpg.New(c, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: pass %d: %w", st.pass, err)
+		}
+		if cfg.Hook != nil {
+			local := st.passFaults
+			hook := cfg.Hook
+			e.TestHook = func(i int, f fault.Fault) { hook(local[i], f) }
+		}
+		sub := make([]fault.Fault, len(st.passFaults))
+		for k, idx := range st.passFaults {
+			sub[k] = faults[idx]
+		}
+		cfg.logf("campaign: pass %d: %d faults, per-fault budget %d", st.pass, len(sub), ecfg.FaultBudget)
+
+		onBoundary := func(done, total int, snapshot func() *atpg.Snapshot) {
+			if cfg.CheckpointPath == "" || time.Since(lastWrite) < every {
+				return
+			}
+			st.snap = snapshot()
+			if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
+				cfg.logf("campaign: checkpoint write failed: %v", err)
+			} else {
+				cfg.logf("campaign: checkpoint at pass %d, %d/%d faults", st.pass, done, total)
+			}
+			lastWrite = time.Now()
+		}
+
+		res, snap, err := e.ResumeFaults(ctx, sub, st.snap, onBoundary)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: pass %d: %w", st.pass, err)
+		}
+		if res.Interrupted {
+			st.snap = snap
+			return finishInterrupted(ctx, cfg, fp, st)
+		}
+
+		// Merge the completed pass.
+		st.snap = nil
+		for k, idx := range st.passFaults {
+			st.outcomes[idx] = res.Outcomes[k]
+			st.done[idx] = true
+		}
+		st.agg.Effort += res.Stats.Effort
+		st.agg.Backtracks += res.Stats.Backtracks
+		st.agg.LearnHits += res.Stats.LearnHits
+		st.agg.LearnPrunes += res.Stats.LearnPrunes
+		st.agg.Unconfirmed += res.Stats.Unconfirmed
+		for s := range res.Stats.StatesTraversed {
+			st.states[s] = true
+		}
+		st.tests = append(st.tests, res.Tests...)
+		for _, cr := range res.Crashes {
+			remapped := *cr
+			remapped.Index = st.passFaults[cr.Index]
+			st.crashes = append(st.crashes, &remapped)
+			cfg.logf("campaign: %v", remapped.Error())
+		}
+
+		// The next pass re-attacks only the aborted faults (crashed
+		// faults are deterministic bugs; retrying would crash again).
+		var aborted []int
+		for k, idx := range st.passFaults {
+			if res.Outcomes[k] == atpg.Aborted {
+				aborted = append(aborted, idx)
+			}
+		}
+		st.passFaults = aborted
+		st.pass++
+		if st.pass <= cfg.Retries && len(aborted) > 0 && cfg.CheckpointPath != "" {
+			if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
+				cfg.logf("campaign: checkpoint write failed: %v", err)
+			}
+			lastWrite = time.Now()
+		}
+	}
+
+	res := assemble(st, false)
+	if cfg.CheckpointPath != "" {
+		if err := os.Remove(cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			cfg.logf("campaign: could not remove finished checkpoint: %v", err)
+		}
+	}
+	return res, nil
+}
+
+// finishInterrupted writes the final checkpoint and assembles the
+// partial result.
+func finishInterrupted(ctx context.Context, cfg Config, fp string, st *state) (*Result, error) {
+	if cfg.CheckpointPath != "" {
+		if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
+			return nil, fmt.Errorf("campaign: interrupted and checkpoint write failed: %w", err)
+		}
+		cfg.logf("campaign: interrupted (%v), checkpoint written to %s", context.Cause(ctx), cfg.CheckpointPath)
+	}
+	return assemble(st, true), nil
+}
+
+// assemble computes the campaign-level result. Outcome counters are
+// recomputed from the per-fault verdicts; effort counters are the
+// across-pass sums (plus, under interruption, the mid-pass snapshot's
+// partial progress, so the caller sees how far the campaign got).
+func assemble(st *state, interrupted bool) *Result {
+	res := &Result{
+		Outcomes:    append([]atpg.Outcome(nil), st.outcomes...),
+		Tests:       st.tests,
+		Crashes:     st.crashes,
+		Interrupted: interrupted,
+		Resumed:     st.resumed,
+		Passes:      st.pass,
+	}
+	stats := atpg.Stats{Total: len(st.outcomes)}
+	count := func(o atpg.Outcome, delta int) {
+		switch o {
+		case atpg.Detected:
+			stats.Detected += delta
+		case atpg.Redundant:
+			stats.Redundant += delta
+		case atpg.Crashed:
+			stats.Crashed += delta
+		default:
+			stats.Aborted += delta
+		}
+	}
+	for i, o := range res.Outcomes {
+		if !st.done[i] {
+			// Never resolved by a completed pass: conservatively
+			// aborted (only possible in an interrupted pass 0).
+			stats.Aborted++
+			continue
+		}
+		count(o, 1)
+	}
+	if interrupted && st.snap != nil {
+		// Mid-pass verdicts supersede the previous pass's aborts (and,
+		// in pass 0, the unresolved default) for the partial report.
+		for k, code := range st.snap.Status {
+			idx := st.passFaults[k]
+			var o atpg.Outcome
+			switch code {
+			case 1:
+				o = atpg.Detected
+			case 2:
+				o = atpg.Redundant
+			case 4:
+				o = atpg.Crashed
+			default:
+				continue
+			}
+			stats.Aborted--
+			count(o, 1)
+			res.Outcomes[idx] = o
+		}
+		sn := st.snap.Stats
+		stats.Effort += sn.Effort
+		stats.Backtracks += sn.Backtracks
+		stats.LearnHits += sn.LearnHits
+		stats.LearnPrunes += sn.LearnPrunes
+		stats.Unconfirmed += sn.Unconfirmed
+		for s := range sn.StatesTraversed {
+			st.states[s] = true
+		}
+		res.Tests = append(res.Tests, st.snap.Tests...)
+	}
+	stats.Effort += st.agg.Effort
+	stats.Backtracks += st.agg.Backtracks
+	stats.LearnHits += st.agg.LearnHits
+	stats.LearnPrunes += st.agg.LearnPrunes
+	stats.Unconfirmed += st.agg.Unconfirmed
+	stats.StatesTraversed = st.states
+	res.Stats = stats
+	return res
+}

@@ -1,0 +1,432 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// checkpointVersion is bumped whenever the on-disk schema changes; a
+// file with a different version is rejected, never reinterpreted.
+const checkpointVersion = 1
+
+// ErrCheckpointMismatch reports a checkpoint that does not belong to
+// this campaign: wrong schema version, or a fingerprint recorded over a
+// different circuit, engine config, retry ladder or fault list.
+var ErrCheckpointMismatch = errors.New("campaign: checkpoint does not match this run")
+
+// Fingerprint binds a checkpoint to everything that determines a
+// campaign's trajectory: the circuit structure, the engine
+// configuration, the retry ladder and the exact fault list. Resuming
+// under any other fingerprint would silently produce garbage, so
+// loadState refuses it.
+func Fingerprint(c *netlist.Circuit, cfg Config, faults []fault.Fault) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign-v%d\n", checkpointVersion)
+	if err := netlist.Write(h, c); err != nil {
+		// netlist.Write to a hash cannot fail for a validated circuit;
+		// fold the error in so a failure still perturbs the digest.
+		fmt.Fprintf(h, "write-error: %v\n", err)
+	}
+	fmt.Fprintf(h, "engine: %+v\n", cfg.Engine)
+	fmt.Fprintf(h, "retries: %d\n", cfg.Retries)
+	for _, f := range faults {
+		fmt.Fprintf(h, "fault: %d %d %d\n", f.Gate, f.Pin, f.SA)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// On-disk schema. Vectors are "01X" strings so checkpoints stay
+// human-inspectable; state sets are sorted for deterministic files.
+type ckptFile struct {
+	Version     int         `json:"version"`
+	Fingerprint string      `json:"fingerprint"`
+	Pass        int         `json:"pass"`
+	PassFaults  []int       `json:"pass_faults"`
+	Outcomes    string      `json:"outcomes"` // one digit per fault
+	Done        string      `json:"done"`     // '0'/'1' per fault
+	Agg         passAgg     `json:"agg"`
+	States      []uint64    `json:"states"`
+	Tests       [][]string  `json:"tests"`
+	Crashes     []ckptCrash `json:"crashes,omitempty"`
+	Snap        *ckptSnap   `json:"snap,omitempty"`
+}
+
+type ckptCrash struct {
+	Index int    `json:"index"`
+	Gate  int    `json:"gate"`
+	Pin   int    `json:"pin"`
+	SA    int    `json:"sa"`
+	Panic string `json:"panic"`
+	Stack string `json:"stack"`
+}
+
+type ckptSnap struct {
+	Next        int            `json:"next"`
+	RandomDone  bool           `json:"random_done"`
+	Status      string         `json:"status"` // one digit per pass fault
+	Tests       [][]string     `json:"tests"`
+	Stats       ckptStats      `json:"stats"`
+	TotalLeft   int64          `json:"total_left"`
+	OutOfBudget bool           `json:"out_of_budget"`
+	FailedCubes []string       `json:"failed_cubes,omitempty"`
+	Achieved    []ckptAchieved `json:"achieved,omitempty"`
+	Crashes     []ckptCrash    `json:"crashes,omitempty"`
+}
+
+type ckptStats struct {
+	Total       int      `json:"total"`
+	Detected    int      `json:"detected"`
+	Redundant   int      `json:"redundant"`
+	Aborted     int      `json:"aborted"`
+	Crashed     int      `json:"crashed"`
+	Unconfirmed int      `json:"unconfirmed"`
+	Effort      int64    `json:"effort"`
+	Backtracks  int64    `json:"backtracks"`
+	LearnHits   int64    `json:"learn_hits"`
+	LearnPrunes int64    `json:"learn_prunes"`
+	States      []uint64 `json:"states"`
+}
+
+type ckptAchieved struct {
+	Fault string   `json:"fault"`
+	Bits  uint64   `json:"bits"`
+	Seq   []string `json:"seq"`
+}
+
+func encodeVec(v []sim.Val) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		switch x {
+		case sim.V0:
+			b[i] = '0'
+		case sim.V1:
+			b[i] = '1'
+		default:
+			b[i] = 'X'
+		}
+	}
+	return string(b)
+}
+
+func decodeVec(s string) ([]sim.Val, error) {
+	v := make([]sim.Val, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			v[i] = sim.V0
+		case '1':
+			v[i] = sim.V1
+		case 'X':
+			v[i] = sim.VX
+		default:
+			return nil, fmt.Errorf("campaign: checkpoint vector has invalid symbol %q", s[i])
+		}
+	}
+	return v, nil
+}
+
+func encodeSeq(seq [][]sim.Val) []string {
+	out := make([]string, len(seq))
+	for i, v := range seq {
+		out[i] = encodeVec(v)
+	}
+	return out
+}
+
+func decodeSeq(seq []string) ([][]sim.Val, error) {
+	out := make([][]sim.Val, len(seq))
+	for i, s := range seq {
+		v, err := decodeVec(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func encodeTests(tests [][][]sim.Val) [][]string {
+	out := make([][]string, len(tests))
+	for i, seq := range tests {
+		out[i] = encodeSeq(seq)
+	}
+	return out
+}
+
+func decodeTests(tests [][]string) ([][][]sim.Val, error) {
+	if len(tests) == 0 {
+		return nil, nil
+	}
+	out := make([][][]sim.Val, len(tests))
+	for i, seq := range tests {
+		s, err := decodeSeq(seq)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func encodeCrashes(crashes []*atpg.FaultCrash) []ckptCrash {
+	out := make([]ckptCrash, len(crashes))
+	for i, cr := range crashes {
+		out[i] = ckptCrash{
+			Index: cr.Index,
+			Gate:  cr.Fault.Gate,
+			Pin:   cr.Fault.Pin,
+			SA:    int(cr.Fault.SA),
+			Panic: cr.Panic,
+			Stack: cr.Stack,
+		}
+	}
+	return out
+}
+
+func decodeCrashes(crashes []ckptCrash) []*atpg.FaultCrash {
+	if len(crashes) == 0 {
+		return nil
+	}
+	out := make([]*atpg.FaultCrash, len(crashes))
+	for i, cr := range crashes {
+		out[i] = &atpg.FaultCrash{
+			Index: cr.Index,
+			Fault: fault.Fault{Gate: cr.Gate, Pin: cr.Pin, SA: sim.Val(cr.SA)},
+			Panic: cr.Panic,
+			Stack: cr.Stack,
+		}
+	}
+	return out
+}
+
+func sortedStates(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func statesSet(s []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(s))
+	for _, x := range s {
+		m[x] = true
+	}
+	return m
+}
+
+func encodeSnap(snap *atpg.Snapshot) *ckptSnap {
+	if snap == nil {
+		return nil
+	}
+	status := make([]byte, len(snap.Status))
+	for i, st := range snap.Status {
+		status[i] = '0' + st
+	}
+	cs := &ckptSnap{
+		Next:        snap.Next,
+		RandomDone:  snap.RandomDone,
+		Status:      string(status),
+		Tests:       encodeTests(snap.Tests),
+		TotalLeft:   snap.TotalLeft,
+		OutOfBudget: snap.OutOfBudget,
+		FailedCubes: snap.FailedCubes,
+		Crashes:     encodeCrashes(snap.Crashes),
+		Stats: ckptStats{
+			Total:       snap.Stats.Total,
+			Detected:    snap.Stats.Detected,
+			Redundant:   snap.Stats.Redundant,
+			Aborted:     snap.Stats.Aborted,
+			Crashed:     snap.Stats.Crashed,
+			Unconfirmed: snap.Stats.Unconfirmed,
+			Effort:      snap.Stats.Effort,
+			Backtracks:  snap.Stats.Backtracks,
+			LearnHits:   snap.Stats.LearnHits,
+			LearnPrunes: snap.Stats.LearnPrunes,
+			States:      sortedStates(snap.Stats.StatesTraversed),
+		},
+	}
+	for _, a := range snap.Achieved {
+		cs.Achieved = append(cs.Achieved, ckptAchieved{
+			Fault: a.Fault, Bits: a.Bits, Seq: encodeSeq(a.Seq),
+		})
+	}
+	return cs
+}
+
+func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
+	if cs == nil {
+		return nil, nil
+	}
+	if len(cs.Status) != passFaults {
+		return nil, fmt.Errorf("campaign: checkpoint snapshot covers %d faults, pass has %d", len(cs.Status), passFaults)
+	}
+	status := make([]byte, len(cs.Status))
+	for i := 0; i < len(cs.Status); i++ {
+		d := cs.Status[i] - '0'
+		if d > 4 {
+			return nil, fmt.Errorf("campaign: checkpoint status symbol %q invalid", cs.Status[i])
+		}
+		status[i] = d
+	}
+	tests, err := decodeTests(cs.Tests)
+	if err != nil {
+		return nil, err
+	}
+	snap := &atpg.Snapshot{
+		Next:        cs.Next,
+		RandomDone:  cs.RandomDone,
+		Status:      status,
+		Tests:       tests,
+		TotalLeft:   cs.TotalLeft,
+		OutOfBudget: cs.OutOfBudget,
+		FailedCubes: cs.FailedCubes,
+		Crashes:     decodeCrashes(cs.Crashes),
+		Stats: atpg.Stats{
+			Total:           cs.Stats.Total,
+			Detected:        cs.Stats.Detected,
+			Redundant:       cs.Stats.Redundant,
+			Aborted:         cs.Stats.Aborted,
+			Crashed:         cs.Stats.Crashed,
+			Unconfirmed:     cs.Stats.Unconfirmed,
+			Effort:          cs.Stats.Effort,
+			Backtracks:      cs.Stats.Backtracks,
+			LearnHits:       cs.Stats.LearnHits,
+			LearnPrunes:     cs.Stats.LearnPrunes,
+			StatesTraversed: statesSet(cs.Stats.States),
+		},
+	}
+	for _, a := range cs.Achieved {
+		seq, err := decodeSeq(a.Seq)
+		if err != nil {
+			return nil, err
+		}
+		snap.Achieved = append(snap.Achieved, atpg.AchievedState{Fault: a.Fault, Bits: a.Bits, Seq: seq})
+	}
+	return snap, nil
+}
+
+// saveState atomically rewrites the checkpoint: the file is either the
+// previous complete checkpoint or the new one, never a torn write.
+func saveState(path, fp string, st *state) error {
+	outcomes := make([]byte, len(st.outcomes))
+	done := make([]byte, len(st.done))
+	for i, o := range st.outcomes {
+		outcomes[i] = '0' + byte(o)
+		done[i] = '0'
+		if st.done[i] {
+			done[i] = '1'
+		}
+	}
+	file := ckptFile{
+		Version:     checkpointVersion,
+		Fingerprint: fp,
+		Pass:        st.pass,
+		PassFaults:  st.passFaults,
+		Outcomes:    string(outcomes),
+		Done:        string(done),
+		Agg:         st.agg,
+		States:      sortedStates(st.states),
+		Tests:       encodeTests(st.tests),
+		Crashes:     encodeCrashes(st.crashes),
+		Snap:        encodeSnap(st.snap),
+	}
+	data, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint directory: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("campaign: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadState reads and validates a checkpoint. A missing file is not an
+// error (the campaign simply starts fresh); a file that exists but does
+// not match the fingerprint or schema is rejected loudly so a stale or
+// foreign checkpoint can never silently poison a run.
+func loadState(path, fp string, n int) (*state, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var file ckptFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if file.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: %s has schema version %d, this build writes %d",
+			ErrCheckpointMismatch, path, file.Version, checkpointVersion)
+	}
+	if file.Fingerprint != fp {
+		return nil, fmt.Errorf("%w: %s was recorded for fingerprint %.12s…, this run is %.12s… (different circuit, config or fault list)",
+			ErrCheckpointMismatch, path, file.Fingerprint, fp)
+	}
+	if len(file.Outcomes) != n || len(file.Done) != n {
+		return nil, fmt.Errorf("%w: %s covers %d faults, this run has %d",
+			ErrCheckpointMismatch, path, len(file.Outcomes), n)
+	}
+	st := &state{
+		pass:       file.Pass,
+		passFaults: file.PassFaults,
+		outcomes:   make([]atpg.Outcome, n),
+		done:       make([]bool, n),
+		agg:        file.Agg,
+		states:     statesSet(file.States),
+		crashes:    decodeCrashes(file.Crashes),
+	}
+	if st.pass < 0 {
+		return nil, fmt.Errorf("campaign: checkpoint pass %d invalid", st.pass)
+	}
+	for i := 0; i < n; i++ {
+		d := file.Outcomes[i] - '0'
+		if d > byte(atpg.Crashed) {
+			return nil, fmt.Errorf("campaign: checkpoint outcome symbol %q invalid", file.Outcomes[i])
+		}
+		st.outcomes[i] = atpg.Outcome(d)
+		switch file.Done[i] {
+		case '0':
+		case '1':
+			st.done[i] = true
+		default:
+			return nil, fmt.Errorf("campaign: checkpoint done symbol %q invalid", file.Done[i])
+		}
+	}
+	seen := make(map[int]bool, len(st.passFaults))
+	for _, idx := range st.passFaults {
+		if idx < 0 || idx >= n || seen[idx] {
+			return nil, fmt.Errorf("campaign: checkpoint pass-fault index %d invalid", idx)
+		}
+		seen[idx] = true
+	}
+	if st.tests, err = decodeTests(file.Tests); err != nil {
+		return nil, err
+	}
+	if st.snap, err = decodeSnap(file.Snap, len(st.passFaults)); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at both circuit readers. Neither may
+// ever panic: they return an error or a circuit that passes Validate
+// and survives a write/read round trip. (The readers are the only part
+// of the system that consumes untrusted input — everything downstream
+// assumes a validated circuit.)
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(".name t\n.reset 0\n0 INPUT rst\n1 INPUT a\n2 NOT n 1\n3 DFF q 2\n4 OUTPUT o 3\n.end\n"))
+	f.Add([]byte("# demo\n# reset: rst\nINPUT(rst)\nINPUT(a)\nOUTPUT(o)\nq = DFF(n)\nn = NOT(a)\no = AND(q, rst)\n"))
+	f.Add([]byte(".reset -5\n0 INPUT a\n"))
+	f.Add([]byte("INPUT(a)\na = AND(a, a)\n"))
+	f.Add([]byte("0 NAND x 0 0\n"))
+	f.Add([]byte("# reset: nowhere\nINPUT(a)\n"))
+	f.Add([]byte("\x00\xff="))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := Read(bytes.NewReader(data)); err == nil {
+			roundTrip(t, c, "exchange")
+		}
+		if c, err := ReadBench(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteBench(&buf, c); err != nil {
+				t.Fatalf("WriteBench rejected a circuit ReadBench produced: %v", err)
+			}
+			c2, err := ReadBench(&buf)
+			if err != nil {
+				t.Fatalf("bench round trip failed: %v\n%s", err, buf.String())
+			}
+			if len(c2.PIs) != len(c.PIs) || len(c2.DFFs) != len(c.DFFs) {
+				t.Fatalf("bench round trip changed shape: %d/%d PIs, %d/%d DFFs",
+					len(c.PIs), len(c2.PIs), len(c.DFFs), len(c2.DFFs))
+			}
+		}
+	})
+}
+
+// roundTrip checks Write∘Read is the identity on valid circuits.
+func roundTrip(t *testing.T, c *Circuit, what string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("%s: Write failed on a circuit Read accepted: %v", what, err)
+	}
+	c2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("%s round trip failed: %v\n%s", what, err, buf.String())
+	}
+	if len(c2.Gates) != len(c.Gates) || c2.ResetPI != c.ResetPI {
+		t.Fatalf("%s round trip changed the circuit: %d->%d gates, reset %d->%d",
+			what, len(c.Gates), len(c2.Gates), c.ResetPI, c2.ResetPI)
+	}
+	for i := range c.Gates {
+		g, g2 := c.Gates[i], c2.Gates[i]
+		if g.Type != g2.Type || len(g.Fanin) != len(g2.Fanin) {
+			t.Fatalf("%s round trip changed gate %d: %+v -> %+v", what, i, g, g2)
+		}
+	}
+}
