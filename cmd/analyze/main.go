@@ -6,13 +6,23 @@
 // Usage:
 //
 //	analyze -in a.net
+//
+// Exit codes:
+//
+//	0  analysis completed
+//	1  setup or analysis failed
+//	2  usage error
+//	4  interrupted (signal) before the reachability phase
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"seqatpg/internal/analyze"
 	"seqatpg/internal/netlist"
@@ -20,28 +30,47 @@ import (
 	"seqatpg/internal/retime"
 )
 
+const (
+	exitOK          = 0
+	exitSetup       = 1
+	exitUsage       = 2
+	exitInterrupted = 4
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "input netlist")
 	skipReach := flag.Bool("noreach", false, "skip the symbolic reachability analysis")
 	flag.Parse()
 	if *in == "" {
-		log.Fatal("-in is required")
+		fmt.Fprintln(os.Stderr, "analyze: -in is required")
+		flag.Usage()
+		return exitUsage
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	c, err := netlist.Read(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stats, err := c.ComputeStats(netlist.DefaultLibrary())
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	fmt.Printf("circuit:        %s\n", c.Name)
 	fmt.Printf("gates:          %d comb, %d DFFs, %d PIs, %d POs\n",
@@ -50,7 +79,8 @@ func main() {
 
 	attr, err := analyze.Analyze(c)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	note := ""
 	if attr.Truncated {
@@ -61,18 +91,28 @@ func main() {
 	fmt.Printf("cycles (Lioy):  %d%s\n", attr.NumCycles, note)
 
 	if !*skipReach {
+		// Reachability is the expensive phase; honor a signal that
+		// arrived during the structural analysis before starting it.
+		if ctx.Err() != nil {
+			log.Print("interrupted before reachability (structural report above is complete)")
+			return exitInterrupted
+		}
 		if c.ResetPI < 0 {
-			log.Fatal("circuit has no reset line; cannot run reachability (use -noreach)")
+			log.Print("circuit has no reset line; cannot run reachability (use -noreach)")
+			return exitSetup
 		}
 		flush, err := retime.FlushLength(c)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitSetup
 		}
 		ra, err := reach.Analyze(c, reach.Options{FlushCycles: flush})
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitSetup
 		}
 		fmt.Printf("valid states:   %.0f of %.0f\n", ra.ValidStates, ra.TotalStates)
 		fmt.Printf("density:        %.3g\n", ra.Density)
 	}
+	return exitOK
 }

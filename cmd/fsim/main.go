@@ -10,71 +10,111 @@
 //
 // The vector format is one line of 0/1/X per cycle (one character per
 // primary input), blank lines between sequences, '#' comments.
+//
+// Exit codes:
+//
+//	0  simulation completed
+//	1  setup or simulation failed
+//	2  usage error
+//	4  interrupted (signal) between sequences
+//	5  simulation completed but the VCD dump failed
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/sim"
 )
 
+const (
+	exitOK          = 0
+	exitSetup       = 1
+	exitUsage       = 2
+	exitInterrupted = 4
+	exitPostRun     = 5
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fsim: ")
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "input netlist")
 	tf := flag.String("t", "", "test vector file")
 	vcd := flag.String("vcd", "", "dump a VCD waveform of the first sequence to this path")
 	flag.Parse()
 	if *in == "" || *tf == "" {
-		log.Fatal("-in and -t are required")
+		fmt.Fprintln(os.Stderr, "fsim: -in and -t are required")
+		flag.Usage()
+		return exitUsage
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	c, err := netlist.Read(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	tv, err := os.Open(*tf)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	seqs, err := sim.ReadVectors(tv, len(c.PIs))
 	tv.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	if len(seqs) == 0 {
-		log.Fatal("no test sequences in the vector file")
+		log.Print("no test sequences in the vector file")
+		return exitSetup
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	faults := fault.CollapsedUniverse(c)
 	fs, err := fault.NewSimulator(c)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	detected := make([]bool, len(faults))
 	states := map[uint64]bool{}
 	cycles := 0
-	for _, seq := range seqs {
+	for i, seq := range seqs {
+		if ctx.Err() != nil {
+			log.Printf("interrupted after %d of %d sequences", i, len(seqs))
+			return exitInterrupted
+		}
 		cycles += len(seq)
 		det, err := fs.Detects(seq, faults)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitSetup
 		}
 		for i, d := range det {
 			detected[i] = detected[i] || d
 		}
 		trace, err := fault.StateTrace(c, seq)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitSetup
 		}
 		for st := range trace {
 			states[st] = true
@@ -88,14 +128,25 @@ func main() {
 	fmt.Printf("states:    %d distinct states traversed\n", len(states))
 
 	if *vcd != "" {
-		out, err := os.Create(*vcd)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer out.Close()
-		if err := sim.DumpVCD(out, c, seqs[0]); err != nil {
-			log.Fatal(err)
+		// The report above already holds the results; a VCD failure must
+		// not discard it.
+		if err := dumpVCD(*vcd, c, seqs[0]); err != nil {
+			log.Print(err)
+			return exitPostRun
 		}
 		fmt.Printf("vcd:       %s (first sequence)\n", *vcd)
 	}
+	return exitOK
+}
+
+func dumpVCD(path string, c *netlist.Circuit, seq [][]sim.Val) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.DumpVCD(out, c, seq); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

@@ -6,43 +6,76 @@
 //
 //	retime -in a.net -rounds 2 -o a.re.net     # backward sweeps
 //	retime -in a.net -minperiod -o a.re.net    # min-period retiming
+//
+// Exit codes:
+//
+//	0  retiming completed
+//	1  setup or retiming failed
+//	2  usage error
+//	4  interrupted (signal) before the output was written
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
 )
 
+const (
+	exitOK          = 0
+	exitSetup       = 1
+	exitUsage       = 2
+	exitInterrupted = 4
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("retime: ")
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "input netlist")
 	out := flag.String("o", "", "output netlist path (default: stdout)")
 	rounds := flag.Int("rounds", 2, "backward atomic-move sweeps")
 	minPeriod := flag.Bool("minperiod", false, "minimum-period graph retiming instead of backward sweeps")
 	flag.Parse()
 	if *in == "" {
-		log.Fatal("-in is required")
+		fmt.Fprintln(os.Stderr, "retime: -in is required")
+		flag.Usage()
+		return exitUsage
+	}
+	if *rounds < 1 {
+		fmt.Fprintf(os.Stderr, "retime: -rounds %d, want >= 1\n", *rounds)
+		return exitUsage
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	c, err := netlist.Read(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	lib := netlist.DefaultLibrary()
 	before, err := retime.CurrentPeriod(c, lib)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var res *retime.Result
 	if *minPeriod {
@@ -51,21 +84,37 @@ func main() {
 		res, err = retime.Backward(c, lib, *rounds)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
+	}
+	// Don't write a result the caller asked to abandon mid-transform.
+	if ctx.Err() != nil {
+		log.Print("interrupted; no output written")
+		return exitInterrupted
 	}
 	fmt.Fprintf(os.Stderr, "retime: %s: period %.2f -> %.2f, DFFs %d -> %d, flush %d cycles\n",
 		res.Circuit.Name, before, res.Period, c.NumDFFs(), res.Circuit.NumDFFs(), res.FlushCycles)
 
-	w := os.Stdout
-	if *out != "" {
-		file, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+	if *out == "" {
+		if err := netlist.Write(os.Stdout, res.Circuit); err != nil {
+			log.Print(err)
+			return exitSetup
 		}
-		defer file.Close()
-		w = file
+		return exitOK
 	}
-	if err := netlist.Write(w, res.Circuit); err != nil {
-		log.Fatal(err)
+	file, err := os.Create(*out)
+	if err != nil {
+		log.Print(err)
+		return exitSetup
 	}
+	if err := netlist.Write(file, res.Circuit); err != nil {
+		file.Close()
+		log.Print(err)
+		return exitSetup
+	}
+	if err := file.Close(); err != nil {
+		log.Print(err)
+		return exitSetup
+	}
+	return exitOK
 }

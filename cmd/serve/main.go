@@ -1,0 +1,114 @@
+// Command serve runs the ATPG job service: an HTTP JSON API over a
+// bounded worker pool that executes submitted campaigns with live
+// progress, per-job checkpoints and resume-after-restart (see
+// internal/service for the API and on-disk layout).
+//
+// Usage:
+//
+//	serve -dir ./jobs -addr :8080 -workers 4
+//
+// A SIGINT/SIGTERM drains the server: running campaigns are
+// interrupted so they write their checkpoints, queued jobs stay queued
+// on disk, and the next `serve -dir ./jobs` resumes all of them.
+//
+// Exit codes:
+//
+//	0  drained cleanly
+//	1  setup failed (bad directory, listen failure)
+//	2  usage error
+//	4  drain did not finish within -drain-timeout
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"seqatpg/internal/service"
+)
+
+const (
+	exitOK      = 0
+	exitSetup   = 1
+	exitUsage   = 2
+	exitTimeout = 4
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "job directory (created if missing; holds specs, checkpoints and results)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	every := flag.Duration("checkpoint-every", 30*time.Second, "minimum gap between periodic per-job checkpoint writes")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long a shutdown signal may wait for running jobs to checkpoint")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "serve: -dir is required")
+		flag.Usage()
+		return exitUsage
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "serve: -workers %d, want >= 1\n", *workers)
+		return exitUsage
+	}
+
+	srv, err := service.New(*dir, service.Options{
+		Workers:         *workers,
+		CheckpointEvery: *every,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return exitSetup
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	listenErr := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			listenErr <- err
+		}
+	}()
+	log.Printf("listening on %s, %d workers, jobs in %s", *addr, *workers, *dir)
+
+	select {
+	case err := <-listenErr:
+		log.Print(err)
+		// The listener is gone; still park running jobs resumably.
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		srv.Close(dctx)
+		return exitSetup
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("draining: interrupting running jobs so they checkpoint (timeout %v)", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		return exitTimeout
+	}
+	log.Print("drained; restart with the same -dir to resume interrupted jobs")
+	return exitOK
+}

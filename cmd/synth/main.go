@@ -5,13 +5,24 @@
 //
 //	synth -fsm dk16 -alg ji -script sd -o dk16.net
 //	synth -kiss machine.kiss2 -alg jc -script sr -o out.net
+//
+// Exit codes:
+//
+//	0  synthesis completed
+//	1  setup or synthesis failed
+//	2  usage error
+//	4  interrupted (signal) before the netlist was written
+//	5  netlist written but the DOT dump failed
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"seqatpg/internal/encode"
 	"seqatpg/internal/fsm"
@@ -19,9 +30,21 @@ import (
 	"seqatpg/internal/synth"
 )
 
+const (
+	exitOK          = 0
+	exitSetup       = 1
+	exitUsage       = 2
+	exitInterrupted = 4
+	exitPostRun     = 5
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synth: ")
+	os.Exit(run())
+}
+
+func run() int {
 	fsmName := flag.String("fsm", "", "benchmark FSM name (dk16, pma, s510, s820, s832, scf)")
 	kiss := flag.String("kiss", "", "KISS2 file to synthesize instead of a benchmark FSM")
 	alg := flag.String("alg", "jc", "state assignment: ji (input dominant), jo (output dominant), jc (combined)")
@@ -36,12 +59,11 @@ func main() {
 	var err error
 	switch {
 	case *kiss != "":
-		f, ferr := os.Open(*kiss)
-		if ferr != nil {
-			log.Fatal(ferr)
+		var f *os.File
+		if f, err = os.Open(*kiss); err == nil {
+			m, err = fsm.ReadKISS2(f)
+			f.Close()
 		}
-		m, err = fsm.ReadKISS2(f)
-		f.Close()
 	case *fsmName != "":
 		for _, b := range fsm.Suite() {
 			if b.Spec.Name == *fsmName {
@@ -53,14 +75,18 @@ func main() {
 			err = fmt.Errorf("unknown benchmark FSM %q", *fsmName)
 		}
 	default:
-		log.Fatal("one of -fsm or -kiss is required")
+		fmt.Fprintln(os.Stderr, "synth: one of -fsm or -kiss is required")
+		flag.Usage()
+		return exitUsage
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	if *minimize {
 		if m, err = fsm.Minimize(m); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitSetup
 		}
 	}
 
@@ -73,7 +99,8 @@ func main() {
 	case "jc":
 		algorithm = encode.Combined
 	default:
-		log.Fatalf("unknown -alg %q", *alg)
+		fmt.Fprintf(os.Stderr, "synth: unknown -alg %q\n", *alg)
+		return exitUsage
 	}
 	var sc synth.Script
 	switch *script {
@@ -82,42 +109,70 @@ func main() {
 	case "sd":
 		sc = synth.Delay
 	default:
-		log.Fatalf("unknown -script %q", *script)
+		fmt.Fprintf(os.Stderr, "synth: unknown -script %q\n", *script)
+		return exitUsage
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	r, err := synth.Synthesize(m, synth.Options{
 		Algorithm: algorithm, Script: sc, UseUnreachableDC: !*noDC,
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
+	}
+	// Don't write a result the caller asked to abandon mid-synthesis.
+	if ctx.Err() != nil {
+		log.Print("interrupted; no output written")
+		return exitInterrupted
 	}
 	stats, err := r.Circuit.ComputeStats(netlist.DefaultLibrary())
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitSetup
 	}
 	fmt.Fprintf(os.Stderr, "synth: %s: %d gates, %d DFFs, area %.0f, delay %.2f, depth %d\n",
 		r.Circuit.Name, stats.Gates, stats.DFFs, stats.Area, stats.Delay, stats.MaxLvl)
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := netlist.Write(w, r.Circuit); err != nil {
-		log.Fatal(err)
+	if err := writeNetlist(*out, r.Circuit); err != nil {
+		log.Print(err)
+		return exitSetup
 	}
 	if *dot != "" {
-		f, err := os.Create(*dot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := fsm.WriteDOT(f, m); err != nil {
-			log.Fatal(err)
+		// The netlist is already written; a DOT failure must not hide it.
+		if err := writeDOT(*dot, m); err != nil {
+			log.Print(err)
+			return exitPostRun
 		}
 	}
+	return exitOK
+}
+
+func writeNetlist(path string, c *netlist.Circuit) error {
+	if path == "" {
+		return netlist.Write(os.Stdout, c)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := netlist.Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeDOT(path string, m *fsm.FSM) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fsm.WriteDOT(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,48 +1,74 @@
 // Command verify checks two netlists for sequential I/O equivalence by
 // symbolic product-machine reachability (both circuits are flushed by
-// holding their shared reset line first). Exit status 0 = equivalent,
-// 1 = counterexample found, 2 = usage or analysis error.
+// holding their shared reset line first).
 //
 // Usage:
 //
 //	verify -a orig.net -b retimed.net [-flush N]
+//
+// Exit codes:
+//
+//	0  equivalent
+//	1  counterexample found
+//	2  usage or analysis error
+//	4  interrupted (signal) before the analysis started
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
 	"seqatpg/internal/verify"
 )
 
+const (
+	exitEquivalent     = 0
+	exitCounterexample = 1
+	exitError          = 2
+	exitInterrupted    = 4
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
+	os.Exit(run())
+}
+
+func run() int {
 	aPath := flag.String("a", "", "first netlist")
 	bPath := flag.String("b", "", "second netlist")
 	flush := flag.Int("flush", 0, "reset-hold cycles (default: measured from the circuits)")
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
-		log.Println("-a and -b are required")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "verify: -a and -b are required")
+		flag.Usage()
+		return exitError
 	}
-	read := func(path string) *netlist.Circuit {
+	read := func(path string) (*netlist.Circuit, error) {
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		defer f.Close()
-		c, err := netlist.Read(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return c
+		return netlist.Read(f)
 	}
-	a, b := read(*aPath), read(*bPath)
+	a, err := read(*aPath)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+	b, err := read(*bPath)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
 	if *flush == 0 {
 		for _, c := range []*netlist.Circuit{a, b} {
 			if c.ResetPI < 0 {
@@ -50,7 +76,8 @@ func main() {
 			}
 			n, err := retime.FlushLength(c)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return exitError
 			}
 			if n > *flush {
 				*flush = n
@@ -60,14 +87,23 @@ func main() {
 			*flush = 1
 		}
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if ctx.Err() != nil {
+		log.Print("interrupted")
+		return exitInterrupted
+	}
+
 	ok, ce, err := verify.Equivalent(a, b, verify.Options{FlushCycles: *flush})
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		log.Print(err)
+		return exitError
 	}
 	if !ok {
 		fmt.Printf("NOT equivalent: %v\n", ce)
-		os.Exit(1)
+		return exitCounterexample
 	}
 	fmt.Printf("equivalent (flush %d cycles): %s == %s\n", *flush, a.Name, b.Name)
+	return exitEquivalent
 }

@@ -46,6 +46,17 @@ type Config struct {
 	// but it can spend extra effort on candidates that fail
 	// confirmation.
 	RelaxedJustify bool
+	// NoFaultDrop disables cross-fault test dropping: a test generated
+	// for one fault is not fault-simulated against the rest of the
+	// list, so every fault is attacked directly. Combined with
+	// Learning off and TotalBudget 0 this makes each fault's outcome a
+	// pure function of (circuit, config, fault) — independent of which
+	// other faults share the run — which is what lets a sharded
+	// campaign partition the fault list arbitrarily and still merge to
+	// identical verdicts (see campaign.RunSharded). It is incompatible
+	// with the random preprocessing phase, whose only effect is
+	// dropping faults.
+	NoFaultDrop bool
 	// FlushCycles is how long the reset line is held to initialize the
 	// machine (1 for non-retimed circuits; retimed circuits need their
 	// flush prefix). Values < 1 are coerced to 1.
@@ -75,6 +86,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: config %q: negative RandomSequences %d", c.Name, c.RandomSequences)
 	case c.RandomLength < 0:
 		return fmt.Errorf("atpg: config %q: negative RandomLength %d", c.Name, c.RandomLength)
+	case c.NoFaultDrop && c.RandomSequences > 0:
+		return fmt.Errorf("atpg: config %q: NoFaultDrop with RandomSequences %d (the random phase only drops faults, so it would silently do nothing)", c.Name, c.RandomSequences)
 	}
 	return nil
 }

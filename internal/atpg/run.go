@@ -168,6 +168,9 @@ func (e *Engine) ResumeFaults(ctx context.Context, faults []fault.Fault, from *S
 	}
 
 	dropDetected := func(seq [][]sim.Val) error {
+		if e.cfg.NoFaultDrop {
+			return nil
+		}
 		var live []fault.Fault
 		var liveIdx []int
 		for i, f := range faults {

@@ -19,6 +19,7 @@ func TestConfigValidateRejectsBadKnobs(t *testing.T) {
 		{"negative backtrack limit", func(c *Config) { c.BacktrackLimit = -1 }, "BacktrackLimit"},
 		{"negative random sequences", func(c *Config) { c.RandomSequences = -1 }, "RandomSequences"},
 		{"negative random length", func(c *Config) { c.RandomLength = -1 }, "RandomLength"},
+		{"no-drop with random phase", func(c *Config) { c.NoFaultDrop = true; c.RandomSequences = 2; c.RandomLength = 4 }, "NoFaultDrop"},
 	}
 	for _, tc := range cases {
 		cfg := defaultCfg()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
 	"seqatpg/internal/atpg"
@@ -43,11 +44,19 @@ type Config struct {
 	Resume bool
 	// Hook is forwarded to every engine pass as its TestHook, with the
 	// index remapped to the original fault list. Test instrumentation
-	// only; it is not fingerprinted.
+	// only; it is not fingerprinted. Under RunSharded it is invoked
+	// concurrently from all shard workers.
 	Hook func(index int, f fault.Fault)
 	// Log, when set, receives progress lines (pass starts, checkpoint
-	// writes, crash notices).
+	// writes, crash notices). RunSharded serializes concurrent shard
+	// logging before it reaches this callback.
 	Log func(format string, args ...any)
+	// OnCheckpoint, when set, is called after every successful
+	// checkpoint write (periodic, pass-boundary or interruption).
+	// Observability instrumentation only; it is not fingerprinted.
+	// Under RunSharded it is invoked concurrently from all shard
+	// workers.
+	OnCheckpoint func()
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -56,8 +65,18 @@ func (c Config) logf(format string, args ...any) {
 	}
 }
 
+func (c Config) checkpointed() {
+	if c.OnCheckpoint != nil {
+		c.OnCheckpoint()
+	}
+}
+
 // Validate rejects nonsensical campaign knobs (the engine config is
-// validated by atpg.New).
+// validated by atpg.New). A non-empty CheckpointPath is probed up
+// front: the checkpoint directory is created if missing — exactly what
+// the first periodic write would do — and a throwaway file is written
+// to it, so an unwritable location fails the run at setup instead of
+// at the first checkpoint minutes or hours in.
 func (c Config) Validate() error {
 	if c.Retries < 0 {
 		return fmt.Errorf("campaign: negative Retries %d", c.Retries)
@@ -67,6 +86,18 @@ func (c Config) Validate() error {
 	}
 	if c.Resume && c.CheckpointPath == "" {
 		return errors.New("campaign: Resume requires CheckpointPath")
+	}
+	if c.CheckpointPath != "" {
+		dir := filepath.Dir(c.CheckpointPath)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("campaign: checkpoint directory %s: %w", dir, err)
+		}
+		probe, err := os.CreateTemp(dir, ".ckpt-probe-*")
+		if err != nil {
+			return fmt.Errorf("campaign: checkpoint directory %s is not writable: %w", dir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
 	}
 	return nil
 }
@@ -214,6 +245,7 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 				cfg.logf("campaign: checkpoint write failed: %v", err)
 			} else {
 				cfg.logf("campaign: checkpoint at pass %d, %d/%d faults", st.pass, done, total)
+				cfg.checkpointed()
 			}
 			lastWrite = time.Now()
 		}
@@ -262,6 +294,8 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 		if st.pass <= cfg.Retries && len(aborted) > 0 && cfg.CheckpointPath != "" {
 			if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
 				cfg.logf("campaign: checkpoint write failed: %v", err)
+			} else {
+				cfg.checkpointed()
 			}
 			lastWrite = time.Now()
 		}
@@ -283,6 +317,7 @@ func finishInterrupted(ctx context.Context, cfg Config, fp string, st *state) (*
 		if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
 			return nil, fmt.Errorf("campaign: interrupted and checkpoint write failed: %w", err)
 		}
+		cfg.checkpointed()
 		cfg.logf("campaign: interrupted (%v), checkpoint written to %s", context.Cause(ctx), cfg.CheckpointPath)
 	}
 	return assemble(st, true), nil

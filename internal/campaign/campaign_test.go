@@ -391,7 +391,32 @@ func TestCampaignConfigValidate(t *testing.T) {
 	if err := (Config{Resume: true}).Validate(); err == nil {
 		t.Error("Resume without CheckpointPath accepted")
 	}
-	if err := (Config{Retries: 3, CheckpointPath: "x", Resume: true}).Validate(); err != nil {
+	if err := (Config{Retries: 3, CheckpointPath: filepath.Join(t.TempDir(), "x"), Resume: true}).Validate(); err != nil {
 		t.Errorf("legal config rejected: %v", err)
+	}
+}
+
+// TestCampaignValidateRejectsUnwritableCheckpointDir: a checkpoint
+// path whose directory cannot be written is refused at setup, not at
+// the first periodic write minutes into the run. The unwritable
+// "directory" is a regular file, which fails for any uid (a chmod 000
+// directory would still be writable when the tests run as root).
+func TestCampaignValidateRejectsUnwritableCheckpointDir(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(plain, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CheckpointPath: filepath.Join(plain, "run.ckpt")}
+	if err := cfg.Validate(); err == nil {
+		t.Error("checkpoint path under a regular file accepted")
+	}
+	if _, err := Run(context.Background(), synthC(t, 5, 3), nil, cfg); err == nil {
+		t.Error("Run accepted an unwritable checkpoint location")
+	}
+	// A missing-but-creatable directory is fine: Validate creates it,
+	// exactly as the first checkpoint write would have.
+	deep := filepath.Join(t.TempDir(), "a", "b", "run.ckpt")
+	if err := (Config{CheckpointPath: deep}).Validate(); err != nil {
+		t.Errorf("creatable checkpoint directory rejected: %v", err)
 	}
 }

@@ -1,0 +1,252 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+)
+
+// RunSharded executes a campaign with fault-level parallelism: the
+// fault list is partitioned round-robin across `shards` workers, each
+// worker runs an independent engine (its own retry ladder, crash
+// isolation and — when CheckpointPath is set — its own fingerprinted
+// per-shard checkpoint), and the per-shard results are merged back in
+// canonical fault-list order.
+//
+// Determinism is the design constraint: the detected/aborted/redundant
+// verdict of every fault must not depend on the shard count, or
+// parallel runs would be irreproducible. Two engine features make a
+// fault's verdict depend on which other faults share its run, so
+// sharded mode normalizes them away (logging each change):
+//
+//   - cross-fault test dropping and the random preprocessing phase
+//     (NoFaultDrop is forced on, RandomSequences/RandomLength to zero):
+//     every fault is attacked directly, and a single global
+//     fault-simulation pass at the end replays all generated tests
+//     against the still-aborted faults — the same set of tests
+//     regardless of partitioning, since every test-generating fault is
+//     attacked in every partitioning;
+//   - search-state learning and the shared total budget (Learning is
+//     forced off, TotalBudget to zero): both leak engine state across
+//     faults within one run.
+//
+// With those normalized, a fault's outcome is a pure function of
+// (circuit, pass config, fault), so RunSharded with shards ∈ {1, 2, 4}
+// returns identical Outcomes and Stats counters; only the order of
+// Result.Tests varies with the partitioning.
+//
+// Checkpointing: shard k of n writes CheckpointPath + ".shard<k>-of-<n>",
+// so an interrupted sharded run resumes per shard. Resuming with a
+// different shard count is rejected by the per-shard fingerprints
+// (each binds to its shard's exact fault sublist). Config.Hook and
+// Config.OnCheckpoint are invoked concurrently from shard workers;
+// Config.Log is serialized here before reaching the caller.
+func RunSharded(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, shards int) (*Result, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("campaign: RunSharded with %d shards, want >= 1", shards)
+	}
+	cfg = normalizeForSharding(cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Serialize shard logging; the caller's Log sees one line at a time.
+	if cfg.Log != nil {
+		var logMu sync.Mutex
+		inner := cfg.Log
+		cfg.Log = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			inner(format, args...)
+		}
+	}
+
+	// Round-robin partition: shard k attacks faults k, k+n, k+2n, …
+	// (contiguous blocks would hand one shard the whole hard tail of a
+	// sorted fault list; interleaving balances effort without breaking
+	// determinism).
+	idxs := make([][]int, shards)
+	for i := range faults {
+		k := i % shards
+		idxs[k] = append(idxs[k], i)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		if len(idxs[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k], errs[k] = runShard(ctx, c, faults, cfg, idxs[k], k, shards)
+			if errs[k] != nil {
+				cancel() // a shard that cannot even start aborts its siblings
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard %d/%d: %w", k, shards, err)
+		}
+	}
+
+	merged := mergeShards(faults, idxs, results)
+	if !merged.Interrupted {
+		if err := upgradeAborted(c, faults, merged); err != nil {
+			return nil, fmt.Errorf("campaign: merge fault simulation: %w", err)
+		}
+	}
+	return merged, nil
+}
+
+// normalizeForSharding forces the engine features that would make a
+// fault's verdict depend on its run-mates off, logging every change.
+func normalizeForSharding(cfg Config) Config {
+	e := &cfg.Engine
+	e.NoFaultDrop = true
+	if e.RandomSequences != 0 || e.RandomLength != 0 {
+		cfg.logf("campaign: sharded run disables the random preprocessing phase (%d seqs x %d)", e.RandomSequences, e.RandomLength)
+		e.RandomSequences, e.RandomLength = 0, 0
+	}
+	if e.Learning {
+		cfg.logf("campaign: sharded run disables search-state learning (cross-fault state)")
+		e.Learning = false
+	}
+	if e.TotalBudget != 0 {
+		cfg.logf("campaign: sharded run ignores TotalBudget %d (not partition-invariant)", e.TotalBudget)
+		e.TotalBudget = 0
+	}
+	return cfg
+}
+
+// runShard runs one shard's sublist through a plain campaign, with the
+// hook index remapped to the original fault list and a per-shard
+// checkpoint file.
+func runShard(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, idx []int, k, shards int) (*Result, error) {
+	sub := make([]fault.Fault, len(idx))
+	for i, gi := range idx {
+		sub[i] = faults[gi]
+	}
+	scfg := cfg
+	if cfg.CheckpointPath != "" {
+		scfg.CheckpointPath = fmt.Sprintf("%s.shard%d-of-%d", cfg.CheckpointPath, k, shards)
+	}
+	if cfg.Hook != nil {
+		hook := cfg.Hook
+		scfg.Hook = func(i int, f fault.Fault) { hook(idx[i], f) }
+	}
+	if cfg.Log != nil {
+		log := cfg.Log
+		scfg.Log = func(format string, args ...any) {
+			log("shard %d/%d: "+format, append([]any{k, shards}, args...)...)
+		}
+	}
+	return Run(ctx, c, sub, scfg)
+}
+
+// mergeShards folds per-shard results back into original fault order.
+func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result {
+	merged := &Result{
+		Outcomes: make([]atpg.Outcome, len(faults)),
+		Stats: atpg.Stats{
+			Total:           len(faults),
+			StatesTraversed: map[uint64]bool{},
+		},
+	}
+	for k, res := range results {
+		if res == nil {
+			continue
+		}
+		for i, gi := range idxs[k] {
+			merged.Outcomes[gi] = res.Outcomes[i]
+		}
+		merged.Tests = append(merged.Tests, res.Tests...)
+		for _, cr := range res.Crashes {
+			remapped := *cr
+			remapped.Index = idxs[k][cr.Index]
+			merged.Crashes = append(merged.Crashes, &remapped)
+		}
+		s := res.Stats
+		merged.Stats.Detected += s.Detected
+		merged.Stats.Redundant += s.Redundant
+		merged.Stats.Aborted += s.Aborted
+		merged.Stats.Crashed += s.Crashed
+		merged.Stats.Unconfirmed += s.Unconfirmed
+		merged.Stats.Effort += s.Effort
+		merged.Stats.Backtracks += s.Backtracks
+		merged.Stats.LearnHits += s.LearnHits
+		merged.Stats.LearnPrunes += s.LearnPrunes
+		for st := range s.StatesTraversed {
+			merged.Stats.StatesTraversed[st] = true
+		}
+		merged.Interrupted = merged.Interrupted || res.Interrupted
+		merged.Resumed = merged.Resumed || res.Resumed
+		if res.Passes > merged.Passes {
+			merged.Passes = res.Passes
+		}
+	}
+	sort.Slice(merged.Crashes, func(i, j int) bool {
+		return merged.Crashes[i].Index < merged.Crashes[j].Index
+	})
+	return merged
+}
+
+// upgradeAborted is the global fault-drop pass sharding deferred:
+// every generated test is fault-simulated against the still-aborted
+// faults, and hits become Detected. Because NoFaultDrop made every
+// test-generating fault attack directly, the set of tests — and hence
+// the set of upgrades — is the same for every shard count. The merge
+// simulation is bookkeeping, not search, so it is not charged to
+// Stats.Effort.
+func upgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result) error {
+	var live []int
+	for i, o := range merged.Outcomes {
+		if o == atpg.Aborted {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 || len(merged.Tests) == 0 {
+		return nil
+	}
+	fs, err := fault.NewSimulator(c)
+	if err != nil {
+		return err
+	}
+	for _, seq := range merged.Tests {
+		if len(live) == 0 {
+			break
+		}
+		sub := make([]fault.Fault, len(live))
+		for i, gi := range live {
+			sub[i] = faults[gi]
+		}
+		det, err := fs.Detects(seq, sub)
+		if err != nil {
+			return err
+		}
+		var still []int
+		for i, gi := range live {
+			if det[i] {
+				merged.Outcomes[gi] = atpg.Detected
+				merged.Stats.Aborted--
+				merged.Stats.Detected++
+			} else {
+				still = append(still, gi)
+			}
+		}
+		live = still
+	}
+	return nil
+}

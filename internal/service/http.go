@@ -1,0 +1,179 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// maxSubmitBytes bounds a job submission body; netlists in this
+// system's weight class are a few hundred KB at most.
+const maxSubmitBytes = 32 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs              submit a job (Spec JSON), returns {"id": ...}
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status, progress and log tail
+//	GET  /jobs/{id}/result  final Summary of a done job
+//	GET  /jobs/{id}/vectors generated test vectors of a done job (text)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /metrics           Prometheus text-format counters and gauges
+//	GET  /healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/vectors", s.handleVectors)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// httpError maps service errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTerminal), errors.Is(err, ErrNotDone):
+		code = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeBody(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, fmt.Errorf("service: decode submission: %w", err))
+		return
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeBody(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeBody(w, http.StatusOK, map[string]any{"jobs": s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if st.State != Done || st.Result == nil {
+		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		return
+	}
+	writeBody(w, http.StatusOK, st.Result)
+}
+
+func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if st.State != Done {
+		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, st.ID, "vectors.vec"))
+	if err != nil {
+		httpError(w, fmt.Errorf("service: vectors: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, map[string]string{"id": id, "cancel": "requested"})
+}
+
+// handleMetrics renders the hand-rolled Prometheus text exposition —
+// no client library, the format is three lines per family. Gauges are
+// computed from the live store; counters are monotone for the life of
+// the process (a restarted server starts them at zero, results on
+// disk persist independently).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var queued, running int
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.state {
+		case Queued:
+			queued++
+		case Running:
+			running++
+		}
+	}
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	m := &s.metrics
+	gauge("atpg_jobs_queued", "Jobs waiting for a worker.", int64(queued))
+	gauge("atpg_jobs_running", "Jobs currently executing.", int64(running))
+	fmt.Fprintf(&b, "# HELP atpg_jobs_finished_total Jobs that reached a terminal state.\n# TYPE atpg_jobs_finished_total counter\n")
+	fmt.Fprintf(&b, "atpg_jobs_finished_total{state=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(&b, "atpg_jobs_finished_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(&b, "atpg_jobs_finished_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
+	fmt.Fprintf(&b, "# HELP atpg_faults_total Final per-outcome fault verdicts of done jobs.\n# TYPE atpg_faults_total counter\n")
+	fmt.Fprintf(&b, "atpg_faults_total{outcome=\"detected\"} %d\n", m.detected.Load())
+	fmt.Fprintf(&b, "atpg_faults_total{outcome=\"redundant\"} %d\n", m.redundant.Load())
+	fmt.Fprintf(&b, "atpg_faults_total{outcome=\"aborted\"} %d\n", m.aborted.Load())
+	fmt.Fprintf(&b, "atpg_faults_total{outcome=\"crashed\"} %d\n", m.crashed.Load())
+	counter("atpg_effort_total", "Cumulative gate-frame evaluations of done jobs.", m.effort.Load())
+	counter("atpg_backtracks_total", "Cumulative search backtracks of done jobs.", m.backtracks.Load())
+	counter("atpg_tests_total", "Test sequences generated by done jobs.", m.tests.Load())
+	counter("atpg_fault_attempts_total", "Deterministic fault attempts started (live, all jobs).", m.attempts.Load())
+	counter("atpg_checkpoint_writes_total", "Campaign checkpoint files written.", m.ckptWrites.Load())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

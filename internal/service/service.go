@@ -1,0 +1,636 @@
+// Package service runs ATPG campaigns as a long-lived job service: a
+// bounded worker pool drains a FIFO queue of submitted jobs, every job
+// advances through the queued → running → done/failed/cancelled
+// lifecycle, and all state that matters across a crash lives on disk
+// under one directory per job. A restarted server rescans that
+// directory, reloads finished jobs for status queries, and re-enqueues
+// every job without a terminal marker — interrupted runs then resume
+// from the fingerprinted campaign checkpoints they wrote on the way
+// down, finishing with stats identical to a run that was never
+// stopped.
+//
+// On-disk layout, one directory per job under the service root:
+//
+//	<root>/<id>/job.json          submitted spec, immutable
+//	<root>/<id>/checkpoint.json   campaign checkpoint(s) while running
+//	<root>/<id>/terminal.json     final state marker; absence = resumable
+//	<root>/<id>/result.json       Summary, written for done jobs
+//	<root>/<id>/vectors.vec       generated test sequences, done jobs
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqatpg/internal/campaign"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/sim"
+)
+
+// State is a job's position in the lifecycle FSM.
+type State string
+
+// Job lifecycle states. Queued and Running are live; the other three
+// are terminal and recorded on disk in terminal.json.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// transitions is the lifecycle FSM. Running → Queued is the drain
+// edge: a server going down interrupts its running jobs (they
+// checkpoint) and leaves them resumable for the next process.
+var transitions = map[State]map[State]bool{
+	Queued:  {Running: true, Cancelled: true},
+	Running: {Done: true, Failed: true, Cancelled: true, Queued: true},
+}
+
+// Service errors the HTTP layer maps to status codes.
+var (
+	ErrNotFound = errors.New("service: no such job")
+	ErrTerminal = errors.New("service: job already finished")
+	ErrDraining = errors.New("service: server is draining")
+	ErrNotDone  = errors.New("service: job has not completed")
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers is the worker-pool size; zero selects 2.
+	Workers int
+	// CheckpointEvery is the per-job periodic checkpoint gap; zero
+	// selects the campaign default of 30 seconds.
+	CheckpointEvery time.Duration
+	// LogTail caps the per-job progress log kept in memory; zero
+	// selects 50 lines.
+	LogTail int
+	// Logf, when set, receives server-level log lines.
+	Logf func(format string, args ...any)
+}
+
+// job is the in-memory record. Fields below the atomics are guarded by
+// the server mutex; the atomics are written from campaign hooks on
+// worker (and shard) goroutines while status snapshots read them.
+type job struct {
+	id      string
+	spec    Spec
+	created time.Time
+
+	attempts   atomic.Int64
+	ckptWrites atomic.Int64
+	pass       atomic.Int64 // highest pass index seen + 1
+	runs       atomic.Int32 // times a worker of this process picked the job up
+	cancelReq  atomic.Bool
+	logs       logRing
+
+	state       State
+	started     time.Time
+	finished    time.Time
+	errMsg      string
+	result      *Summary
+	totalFaults int
+	cancel      context.CancelFunc // non-nil exactly while running
+}
+
+// JobStatus is the externally visible snapshot of one job.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Error    string    `json:"error,omitempty"`
+	// Live progress, fed from the campaign Hook/Log instrumentation.
+	TotalFaults      int      `json:"total_faults,omitempty"`
+	Attempts         int64    `json:"attempts"`
+	Pass             int      `json:"pass"`
+	CheckpointWrites int64    `json:"checkpoint_writes"`
+	Shards           int      `json:"shards,omitempty"`
+	Runs             int      `json:"runs,omitempty"` // diagnostics: pickups by this process
+	Log              []string `json:"log,omitempty"`
+	Result           *Summary `json:"result,omitempty"`
+}
+
+// Server is the job service: store, queue and worker pool.
+type Server struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*job
+	order  []string // submission order, for listings
+	queue  []string // pending job ids, FIFO
+	seq    int
+	closed bool
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	metrics counters
+
+	// testJobSettled, when set (tests only), fires after a job leaves
+	// the Running state for any reason.
+	testJobSettled func(id string, st State)
+}
+
+// New opens (or creates) the service directory, recovers every job
+// recorded in it, and starts the worker pool. Jobs without a terminal
+// marker — queued or interrupted when the previous process died — are
+// re-enqueued in id order and resume from their checkpoints.
+func New(dir string, opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.LogTail <= 0 {
+		opts.LogTail = 50
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: job directory: %w", err)
+	}
+	s := &Server{
+		dir:  dir,
+		opts: opts,
+		jobs: map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.ctx, s.stop = context.WithCancel(context.Background())
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// jobFile is the immutable submission record.
+type jobFile struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	Created time.Time `json:"created"`
+}
+
+// terminalFile marks a finished lifecycle; its absence after a restart
+// is what makes a job resumable.
+type terminalFile struct {
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Finished time.Time `json:"finished"`
+}
+
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("service: scan %s: %w", s.dir, err)
+	}
+	var recovered []*job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var jf jobFile
+		if err := readJSON(filepath.Join(s.dir, e.Name(), "job.json"), &jf); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // foreign directory; leave it alone
+			}
+			return fmt.Errorf("service: job %s: %w", e.Name(), err)
+		}
+		if jf.ID != e.Name() {
+			return fmt.Errorf("service: job directory %s holds job %q", e.Name(), jf.ID)
+		}
+		j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued}
+		j.logs.max = s.opts.LogTail
+		var tf terminalFile
+		switch err := readJSON(filepath.Join(s.dir, j.id, "terminal.json"), &tf); {
+		case err == nil:
+			if !tf.State.Terminal() {
+				return fmt.Errorf("service: job %s: terminal marker with live state %q", j.id, tf.State)
+			}
+			j.state = tf.State
+			j.errMsg = tf.Error
+			j.finished = tf.Finished
+			if j.state == Done {
+				var sum Summary
+				if err := readJSON(filepath.Join(s.dir, j.id, "result.json"), &sum); err != nil {
+					return fmt.Errorf("service: job %s: done without result: %w", j.id, err)
+				}
+				j.result = &sum
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// Queued or interrupted mid-run: resumable.
+		default:
+			return fmt.Errorf("service: job %s: %w", j.id, err)
+		}
+		recovered = append(recovered, j)
+		if n := idNumber(j.id); n >= s.seq {
+			s.seq = n + 1
+		}
+	}
+	sort.Slice(recovered, func(i, k int) bool { return recovered[i].id < recovered[k].id })
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.state == Queued {
+			s.queue = append(s.queue, j.id)
+			s.logf("recovered job %s (resumable)", j.id)
+		}
+	}
+	return nil
+}
+
+func idNumber(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Submit validates the spec (including parsing the netlist), persists
+// the job and enqueues it. The returned id is stable across restarts.
+func (s *Server) Submit(spec Spec) (string, error) {
+	if _, err := Prepare(spec); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrDraining
+	}
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := &job{id: id, spec: spec, created: time.Now(), state: Queued}
+	j.logs.max = s.opts.LogTail
+	if err := writeJSON(filepath.Join(s.dir, id, "job.json"), jobFile{ID: id, Spec: spec, Created: j.created}); err != nil {
+		return "", err
+	}
+	s.seq++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, id)
+	s.cond.Signal()
+	s.logf("job %s submitted (%s)", id, spec.describe())
+	return id, nil
+}
+
+// Cancel stops a job: a queued job goes terminal immediately, a
+// running one has its campaign interrupted and finishes as cancelled
+// at the next fault boundary. Cancelling a terminal job is an error.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.state {
+	case Queued:
+		s.transitionLocked(j, Cancelled, "cancelled while queued")
+		s.mu.Unlock()
+		s.settled(j.id, Cancelled)
+		return nil
+	case Running:
+		j.cancelReq.Store(true)
+		j.cancel()
+		s.mu.Unlock()
+		return nil
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.state)
+	}
+}
+
+// Status returns a snapshot of one job.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(j, true), nil
+}
+
+// List returns snapshots of every job in submission order, without
+// the per-job log tail.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id], false))
+	}
+	return out
+}
+
+func (s *Server) statusLocked(j *job, withLog bool) JobStatus {
+	st := JobStatus{
+		ID:               j.id,
+		Name:             j.spec.Name,
+		State:            j.state,
+		Created:          j.created,
+		Started:          j.started,
+		Finished:         j.finished,
+		Error:            j.errMsg,
+		TotalFaults:      j.totalFaults,
+		Attempts:         j.attempts.Load(),
+		Pass:             int(j.pass.Load()),
+		CheckpointWrites: j.ckptWrites.Load(),
+		Shards:           j.spec.shardCount(),
+		Runs:             int(j.runs.Load()),
+		Result:           j.result,
+	}
+	if withLog {
+		st.Log = j.logs.tail()
+	}
+	return st
+}
+
+// Close drains the server: no new submissions, idle workers exit, and
+// running campaigns are interrupted so they write their checkpoints
+// and park as resumable. Queued jobs stay queued on disk. Close
+// returns when every worker has exited or ctx expires.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", context.Cause(ctx))
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		j := s.jobs[id]
+		if j.state != Queued {
+			s.mu.Unlock() // cancelled while waiting in the queue
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.ctx)
+		j.state = Running
+		j.started = time.Now()
+		j.cancel = cancel
+		j.runs.Add(1)
+		s.mu.Unlock()
+		s.runJob(ctx, j)
+		cancel()
+	}
+}
+
+// runJob executes one job's campaign and moves it to its next state.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	p, err := Prepare(j.spec)
+	if err != nil {
+		s.finishJob(j, Failed, err.Error(), nil)
+		return
+	}
+	s.mu.Lock()
+	j.totalFaults = len(p.Faults)
+	s.mu.Unlock()
+
+	ccfg := p.Campaign
+	ccfg.CheckpointPath = filepath.Join(s.dir, j.id, "checkpoint.json")
+	ccfg.CheckpointEvery = s.opts.CheckpointEvery
+	ccfg.Resume = true // picks up the checkpoint if one exists, fresh start otherwise
+	ccfg.Hook = func(i int, f fault.Fault) {
+		j.attempts.Add(1)
+		s.metrics.attempts.Add(1)
+	}
+	ccfg.OnCheckpoint = func() {
+		j.ckptWrites.Add(1)
+		s.metrics.ckptWrites.Add(1)
+	}
+	ccfg.Log = s.jobLogger(j)
+
+	var res *campaign.Result
+	if p.Shards > 1 {
+		res, err = campaign.RunSharded(ctx, p.Circuit, p.Faults, ccfg, p.Shards)
+	} else {
+		res, err = campaign.Run(ctx, p.Circuit, p.Faults, ccfg)
+	}
+	switch {
+	case err != nil:
+		s.finishJob(j, Failed, err.Error(), nil)
+	case res.Interrupted && j.cancelReq.Load():
+		s.removeCheckpoints(j)
+		s.finishJob(j, Cancelled, "cancelled while running", nil)
+	case res.Interrupted:
+		// Server drain: the campaign checkpointed; park the job as
+		// resumable (no terminal marker on disk) for the next process.
+		s.mu.Lock()
+		s.transitionMemLocked(j, Queued)
+		j.cancel = nil
+		s.mu.Unlock()
+		s.logf("job %s interrupted by drain, checkpointed", j.id)
+		s.settled(j.id, Queued)
+	default:
+		sum := NewSummary(res)
+		if err := s.persistResult(j, res, &sum); err != nil {
+			s.finishJob(j, Failed, err.Error(), nil)
+			return
+		}
+		s.metrics.addResult(&sum)
+		s.finishJob(j, Done, "", &sum)
+	}
+}
+
+// jobLogger feeds campaign progress lines into the job's ring buffer
+// and tracks the highest pass seen (shards report independently; the
+// snapshot shows the furthest one).
+func (s *Server) jobLogger(j *job) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		if k := strings.Index(line, "campaign: pass "); k >= 0 {
+			rest := line[k+len("campaign: pass "):]
+			if m := strings.IndexByte(rest, ':'); m > 0 {
+				if p, err := strconv.Atoi(rest[:m]); err == nil {
+					for {
+						cur := j.pass.Load()
+						if int64(p+1) <= cur || j.pass.CompareAndSwap(cur, int64(p+1)) {
+							break
+						}
+					}
+				}
+			}
+		}
+		j.logs.add(line)
+		s.logf("job %s: %s", j.id, line)
+	}
+}
+
+// finishJob moves a job to a terminal state and records the marker on
+// disk. A marker write failure is logged but does not resurrect the
+// job: the in-memory state stays authoritative for this process, and
+// the worst post-crash consequence is one spurious resume.
+func (s *Server) finishJob(j *job, st State, errMsg string, sum *Summary) {
+	s.mu.Lock()
+	s.transitionLocked(j, st, errMsg)
+	j.result = sum
+	j.cancel = nil
+	s.mu.Unlock()
+	s.settled(j.id, st)
+}
+
+// transitionLocked applies a terminal FSM edge, persists the marker
+// and updates the per-state counters. Illegal edges are programming
+// errors and panic loudly rather than corrupting the store.
+func (s *Server) transitionLocked(j *job, st State, errMsg string) {
+	s.transitionMemLocked(j, st)
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if err := writeJSON(filepath.Join(s.dir, j.id, "terminal.json"),
+		terminalFile{State: st, Error: errMsg, Finished: j.finished}); err != nil {
+		s.logf("job %s: terminal marker: %v", j.id, err)
+	}
+	switch st {
+	case Done:
+		s.metrics.jobsDone.Add(1)
+	case Failed:
+		s.metrics.jobsFailed.Add(1)
+	case Cancelled:
+		s.metrics.jobsCancelled.Add(1)
+	}
+	s.logf("job %s: %s", j.id, st)
+}
+
+func (s *Server) transitionMemLocked(j *job, st State) {
+	if !transitions[j.state][st] {
+		panic(fmt.Sprintf("service: illegal transition %s -> %s for job %s", j.state, st, j.id))
+	}
+	j.state = st
+}
+
+func (s *Server) settled(id string, st State) {
+	if s.testJobSettled != nil {
+		s.testJobSettled(id, st)
+	}
+}
+
+// persistResult writes result.json and the generated vectors.
+func (s *Server) persistResult(j *job, res *campaign.Result, sum *Summary) error {
+	if err := writeJSON(filepath.Join(s.dir, j.id, "result.json"), sum); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(s.dir, j.id, "vectors.vec"))
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteVectors(f, res.Tests); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// removeCheckpoints drops the job's checkpoint file(s) — plain and
+// per-shard — once the job is terminal and can never resume.
+func (s *Server) removeCheckpoints(j *job) {
+	matches, _ := filepath.Glob(filepath.Join(s.dir, j.id, "checkpoint.json*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// logRing keeps the newest max progress lines.
+type logRing struct {
+	mu    sync.Mutex
+	max   int
+	lines []string
+}
+
+func (r *logRing) add(line string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lines = append(r.lines, line)
+	if over := len(r.lines) - r.max; over > 0 {
+		r.lines = append(r.lines[:0:0], r.lines[over:]...)
+	}
+}
+
+func (r *logRing) tail() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.lines...)
+}
+
+// writeJSON atomically writes v as indented JSON, creating the parent
+// directory if needed.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encode %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return nil
+}

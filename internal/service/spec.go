@@ -1,0 +1,227 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/atpg/attest"
+	"seqatpg/internal/atpg/hitec"
+	"seqatpg/internal/atpg/sest"
+	"seqatpg/internal/campaign"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+)
+
+// Spec is one submitted ATPG job: a netlist plus campaign knobs. The
+// zero value of every optional field selects the documented default,
+// so the minimal submission is just the netlist text.
+type Spec struct {
+	// Name is a free-form label echoed in status output.
+	Name string `json:"name,omitempty"`
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Format is "bench" (ISCAS89, the default) or "net" (the exchange
+	// format written by netlist.Write).
+	Format string `json:"format,omitempty"`
+	// Engine selects the generator preset: "hitec" (default),
+	// "attest" or "sest".
+	Engine string `json:"engine,omitempty"`
+	// FaultBudget is the per-fault effort allowance in gate-frame
+	// evaluations; zero selects 8000 x gates, as cmd/atpg does.
+	FaultBudget int64 `json:"fault_budget,omitempty"`
+	// Retries is the number of 2x/4x/... escalation passes re-attacking
+	// aborted faults; zero means a single pass.
+	Retries int `json:"retries,omitempty"`
+	// Shards > 1 runs the campaign with deterministic fault-level
+	// parallelism (campaign.RunSharded); zero or 1 is a plain
+	// sequential campaign.
+	Shards int `json:"shards,omitempty"`
+	// MaxFaults truncates the collapsed fault universe; zero keeps all
+	// faults.
+	MaxFaults int `json:"max_faults,omitempty"`
+	// FlushCycles is the reset-hold prefix; zero measures it from the
+	// circuit (mandatory for retimed netlists, where it exceeds 1).
+	FlushCycles int `json:"flush_cycles,omitempty"`
+	// Seed perturbs the engine's randomized phases.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (s Spec) shardCount() int {
+	if s.Shards < 1 {
+		return 1
+	}
+	return s.Shards
+}
+
+func (s Spec) describe() string {
+	name := s.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	eng := s.Engine
+	if eng == "" {
+		eng = "hitec"
+	}
+	return fmt.Sprintf("%s, engine %s, %d shard(s)", name, eng, s.shardCount())
+}
+
+// Prepared is the executable form of a Spec: the parsed circuit, the
+// fault list and the campaign configuration, without the paths and
+// hooks the server wires in per run. Preparing the same Spec twice
+// yields an identical campaign, which is what lets a restarted server
+// resume against the checkpoint fingerprint the previous process
+// recorded.
+type Prepared struct {
+	Circuit  *netlist.Circuit
+	Faults   []fault.Fault
+	Campaign campaign.Config
+	Shards   int
+}
+
+// Prepare validates a Spec and builds its executable form.
+func Prepare(spec Spec) (*Prepared, error) {
+	if strings.TrimSpace(spec.Netlist) == "" {
+		return nil, fmt.Errorf("service: empty netlist")
+	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("service: negative shards %d", spec.Shards)
+	}
+	if spec.MaxFaults < 0 {
+		return nil, fmt.Errorf("service: negative max_faults %d", spec.MaxFaults)
+	}
+	var c *netlist.Circuit
+	var err error
+	switch spec.Format {
+	case "", "bench":
+		c, err = netlist.ReadBench(strings.NewReader(spec.Netlist))
+	case "net":
+		c, err = netlist.Read(strings.NewReader(spec.Netlist))
+	default:
+		return nil, fmt.Errorf("service: unknown netlist format %q (want bench or net)", spec.Format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: netlist: %w", err)
+	}
+	flush := spec.FlushCycles
+	if flush == 0 {
+		if flush, err = retime.FlushLength(c); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		if flush < 1 {
+			flush = 1
+		}
+	}
+	budget := spec.FaultBudget
+	if budget == 0 {
+		budget = 8000 * int64(c.NumGates())
+	}
+	var ecfg atpg.Config
+	switch spec.Engine {
+	case "", "hitec":
+		ecfg = hitec.DefaultConfig(flush, budget)
+	case "attest":
+		ecfg = attest.DefaultConfig(flush, budget)
+	case "sest":
+		ecfg = sest.DefaultConfig(flush, budget)
+	default:
+		return nil, fmt.Errorf("service: unknown engine %q (want hitec, attest or sest)", spec.Engine)
+	}
+	if spec.Seed != 0 {
+		ecfg.Seed = spec.Seed
+	}
+	if err := ecfg.Validate(); err != nil {
+		return nil, err
+	}
+	faults := fault.CollapsedUniverse(c)
+	if spec.MaxFaults > 0 && spec.MaxFaults < len(faults) {
+		faults = faults[:spec.MaxFaults]
+	}
+	ccfg := campaign.Config{Engine: ecfg, Retries: spec.Retries}
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prepared{Circuit: c, Faults: faults, Campaign: ccfg, Shards: spec.shardCount()}, nil
+}
+
+// Summary is the JSON-safe digest of a campaign.Result: everything
+// status queries and metrics need, without the raw vectors (those are
+// served separately) or the traversed-state set (only its size).
+type Summary struct {
+	Total           int     `json:"total"`
+	Detected        int     `json:"detected"`
+	Redundant       int     `json:"redundant"`
+	Aborted         int     `json:"aborted"`
+	Crashed         int     `json:"crashed"`
+	Unconfirmed     int     `json:"unconfirmed"`
+	Effort          int64   `json:"effort"`
+	Backtracks      int64   `json:"backtracks"`
+	LearnHits       int64   `json:"learn_hits"`
+	LearnPrunes     int64   `json:"learn_prunes"`
+	StatesTraversed int     `json:"states_traversed"`
+	FC              float64 `json:"fc"`
+	FE              float64 `json:"fe"`
+	Passes          int     `json:"passes"`
+	Resumed         bool    `json:"resumed"`
+	Interrupted     bool    `json:"interrupted"`
+	Tests           int     `json:"tests"`
+	CrashRecords    int     `json:"crash_records"`
+}
+
+// NewSummary digests a campaign result.
+func NewSummary(res *campaign.Result) Summary {
+	s := res.Stats
+	return Summary{
+		Total:           s.Total,
+		Detected:        s.Detected,
+		Redundant:       s.Redundant,
+		Aborted:         s.Aborted,
+		Crashed:         s.Crashed,
+		Unconfirmed:     s.Unconfirmed,
+		Effort:          s.Effort,
+		Backtracks:      s.Backtracks,
+		LearnHits:       s.LearnHits,
+		LearnPrunes:     s.LearnPrunes,
+		StatesTraversed: len(s.StatesTraversed),
+		FC:              s.FC(),
+		FE:              s.FE(),
+		Passes:          res.Passes,
+		Resumed:         res.Resumed,
+		Interrupted:     res.Interrupted,
+		Tests:           len(res.Tests),
+		CrashRecords:    len(res.Crashes),
+	}
+}
+
+// counters are the service-level metrics: live gauges come from the
+// store under its mutex, everything here is a monotone counter fed
+// from campaign hooks and job completions.
+type counters struct {
+	attempts      atomic.Int64
+	ckptWrites    atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	detected      atomic.Int64
+	redundant     atomic.Int64
+	aborted       atomic.Int64
+	crashed       atomic.Int64
+	effort        atomic.Int64
+	backtracks    atomic.Int64
+	tests         atomic.Int64
+}
+
+// addResult folds a completed job's final stats into the per-outcome
+// and effort counters; this is what makes /metrics reconcile exactly
+// with the sum of finished jobs' campaign.Result stats.
+func (c *counters) addResult(sum *Summary) {
+	c.detected.Add(int64(sum.Detected))
+	c.redundant.Add(int64(sum.Redundant))
+	c.aborted.Add(int64(sum.Aborted))
+	c.crashed.Add(int64(sum.Crashed))
+	c.effort.Add(sum.Effort)
+	c.backtracks.Add(sum.Backtracks)
+	c.tests.Add(int64(sum.Tests))
+}
