@@ -68,6 +68,7 @@ func run() int {
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	retries := flag.Int("retries", 2, "escalation passes re-attacking aborted faults at 2x, 4x, ... budget (0 = off)")
 	minFE := flag.Float64("min-fe", 0, "exit with status 3 if final fault efficiency is below this percentage")
+	fsimWorkers := flag.Int("fsim-workers", 0, "fault-simulation worker count (0 = all CPUs; results are identical for every value)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "atpg: -in is required")
@@ -131,6 +132,7 @@ func run() int {
 	res, err := campaign.Run(ctx, c, faults, campaign.Config{
 		Engine:         cfg,
 		Retries:        *retries,
+		FsimWorkers:    *fsimWorkers,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		Log:            log.Printf,

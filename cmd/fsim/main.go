@@ -22,11 +22,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"seqatpg/internal/fault"
@@ -52,6 +54,7 @@ func run() int {
 	in := flag.String("in", "", "input netlist")
 	tf := flag.String("t", "", "test vector file")
 	vcd := flag.String("vcd", "", "dump a VCD waveform of the first sequence to this path")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker count (results are identical for every value)")
 	flag.Parse()
 	if *in == "" || *tf == "" {
 		fmt.Fprintln(os.Stderr, "fsim: -in and -t are required")
@@ -103,8 +106,12 @@ func run() int {
 			return exitInterrupted
 		}
 		cycles += len(seq)
-		det, err := fs.Detects(seq, faults)
+		det, err := fs.DetectsParallel(ctx, seq, faults, *workers)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("interrupted after %d of %d sequences", i, len(seqs))
+				return exitInterrupted
+			}
 			log.Print(err)
 			return exitSetup
 		}
@@ -121,11 +128,14 @@ func run() int {
 		}
 	}
 	cov := fault.Summarize(detected)
+	st := fs.Stats()
 	fmt.Printf("circuit:   %s (%d gates, %d DFFs)\n", c.Name, c.NumGates(), c.NumDFFs())
 	fmt.Printf("tests:     %d sequences, %d cycles total\n", len(seqs), cycles)
 	fmt.Printf("faults:    %d collapsed, %d detected\n", cov.Total, cov.Detected)
 	fmt.Printf("coverage:  FC %.2f%%\n", cov.FC())
 	fmt.Printf("states:    %d distinct states traversed\n", len(states))
+	fmt.Printf("kernel:    %d events, %d gate evals (%d avoided), %d early batch exits\n",
+		st.Events, st.GateEvals, st.GateEvalsAvoided, st.EarlyExits)
 
 	if *vcd != "" {
 		// The report above already holds the results; a VCD failure must

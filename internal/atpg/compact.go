@@ -1,6 +1,9 @@
 package atpg
 
 import (
+	"context"
+	"runtime"
+
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/sim"
@@ -35,7 +38,7 @@ func CompactTests(c *netlist.Circuit, tests [][][]sim.Val, faults []fault.Fault)
 		if len(live) == 0 {
 			break
 		}
-		det, err := fs.Detects(tests[i], live)
+		det, err := fs.DetectsParallel(context.Background(), tests[i], live, runtime.GOMAXPROCS(0))
 		if err != nil {
 			return nil, err
 		}

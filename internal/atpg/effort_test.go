@@ -1,0 +1,28 @@
+package atpg
+
+import "testing"
+
+// TestFsimPasses pins the fault-simulation effort unit to exactly
+// ceil(n/63). The boundary case n = 63 regressed once (len/63 + 1
+// charged two passes for a single 63-fault batch), so every word
+// boundary is spelled out.
+func TestFsimPasses(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 0},
+		{1, 1},
+		{62, 1},
+		{63, 1},
+		{64, 2},
+		{126, 2},
+		{127, 3},
+		{63 * 10, 10},
+	}
+	for _, tc := range cases {
+		if got := fsimPasses(tc.n); got != tc.want {
+			t.Errorf("fsimPasses(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -156,6 +156,10 @@ type Engine struct {
 	cancelDone <-chan struct{}
 	cancelled  bool
 
+	// fsimWorkers is the worker count handed to DetectsParallel by the
+	// fault-drop passes; see SetFaultSimWorkers.
+	fsimWorkers int
+
 	// TestHook, when set, is called at the start of every fault search
 	// with the fault's list index. It exists so tests (and the campaign
 	// package's crash-isolation tests) can inject failures; it is not
@@ -203,6 +207,15 @@ func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// SetFaultSimWorkers sets how many workers the engine's fault-drop
+// passes hand to fault.Simulator.DetectsParallel; values below 2 keep
+// the serial path. DetectsParallel is worker-count-invariant, so the
+// knob cannot change any run's outcomes or stats — which is why it is
+// a setter rather than a Config field: Config is fingerprinted into
+// campaign checkpoints, and a machine-local tuning knob must not
+// invalidate them.
+func (e *Engine) SetFaultSimWorkers(n int) { e.fsimWorkers = n }
 
 // computeObsDist is a reverse BFS from the primary outputs.
 func computeObsDist(c *netlist.Circuit) []int {
@@ -384,9 +397,11 @@ func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
 			seq := append([][]sim.Val{}, e.flushPrefix...)
 			seq = append(seq, prefix...)
 			seq = append(seq, w.vectors()...)
-			// Confirm with the fault simulator before accepting.
-			det, err := e.fsim.Detects(seq, []fault.Fault{*f})
-			if err != nil || !det[0] {
+			// Confirm with the fault simulator before accepting; the
+			// single-fault fast path stops at the first detecting frame
+			// instead of spinning up a 63-wide batch.
+			det, err := e.fsim.DetectsOne(seq, *f)
+			if err != nil || !det {
 				e.Stats.Unconfirmed++
 				return false
 			}

@@ -124,6 +124,13 @@ func (e *Engine) generateSafe(i int, f *fault.Fault) (out Outcome, seq [][]sim.V
 	return out, seq, nil
 }
 
+// fsimPasses is the fault-simulation effort unit: the number of
+// 63-fault simulator passes a drop over n live faults costs. (Exactly
+// ceil(n/63) — n = 63 is one pass, not two.)
+func fsimPasses(n int) int64 {
+	return int64((n + 62) / 63)
+}
+
 // Run generates tests for the whole collapsed fault universe.
 func (e *Engine) Run() (*Result, error) {
 	return e.RunFaults(fault.CollapsedUniverse(e.c))
@@ -182,13 +189,15 @@ func (e *Engine) ResumeFaults(ctx context.Context, faults []fault.Fault, from *S
 		if len(live) == 0 {
 			return nil
 		}
-		det, err := e.fsim.Detects(seq, live)
+		// The drop pass runs under context.Background() even in a
+		// cancellable run: cancellation is observed at the next effort
+		// charge, so the pass always completes and the rollback-to-
+		// boundary bookkeeping stays exact.
+		det, err := e.fsim.DetectsParallel(context.Background(), seq, live, e.fsimWorkers)
 		if err != nil {
 			return err
 		}
-		// Fault simulation cost: one pass per 63 faults.
-		passes := int64(len(live)/63 + 1)
-		e.charge(passes * int64(len(seq)))
+		e.charge(fsimPasses(len(live)) * int64(len(seq)))
 		for k, d := range det {
 			if d {
 				rs.status[liveIdx[k]] = 1

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"text/tabwriter"
 
 	"seqatpg/internal/analyze"
@@ -399,7 +401,7 @@ func (s *Suite) Table8() ([]Table8Row, string, error) {
 		travOrig := map[uint64]bool{}
 		for _, seq := range orig.Result.Tests {
 			adapted := append(append([][]sim.Val{}, flush...), seq[1:]...)
-			det, err := fs.Detects(adapted, re.Faults)
+			det, err := fs.DetectsParallel(context.Background(), adapted, re.Faults, runtime.GOMAXPROCS(0))
 			if err != nil {
 				return nil, "", err
 			}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"seqatpg/internal/atpg"
@@ -30,6 +31,14 @@ type Config struct {
 	// Retries is how many escalation passes follow the first pass.
 	// Each pass re-attacks only the faults the previous pass aborted.
 	Retries int
+	// FsimWorkers is the worker count for the campaign's fault-
+	// simulation passes (the engines' fault dropping, and the sharded
+	// campaign's global upgrade pass); zero selects GOMAXPROCS,
+	// negative is rejected. Fault-simulation results are worker-count-
+	// invariant, so the knob cannot change outcomes — which is why it
+	// is not part of the checkpoint fingerprint (that covers only the
+	// Engine config) and a resumed campaign may use a different value.
+	FsimWorkers int
 	// CheckpointPath enables checkpointing when non-empty: the file is
 	// rewritten at most every CheckpointEvery during the run, always
 	// when the run is interrupted, and removed on success.
@@ -71,6 +80,14 @@ func (c Config) checkpointed() {
 	}
 }
 
+// fsimWorkers resolves Config.FsimWorkers: zero means GOMAXPROCS.
+func (c Config) fsimWorkers() int {
+	if c.FsimWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.FsimWorkers
+}
+
 // Validate rejects nonsensical campaign knobs (the engine config is
 // validated by atpg.New). A non-empty CheckpointPath is probed up
 // front: the checkpoint directory is created if missing — exactly what
@@ -80,6 +97,9 @@ func (c Config) checkpointed() {
 func (c Config) Validate() error {
 	if c.Retries < 0 {
 		return fmt.Errorf("campaign: negative Retries %d", c.Retries)
+	}
+	if c.FsimWorkers < 0 {
+		return fmt.Errorf("campaign: negative FsimWorkers %d", c.FsimWorkers)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("campaign: negative CheckpointEvery %v", c.CheckpointEvery)
@@ -225,6 +245,7 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 		if err != nil {
 			return nil, fmt.Errorf("campaign: pass %d: %w", st.pass, err)
 		}
+		e.SetFaultSimWorkers(cfg.fsimWorkers())
 		if cfg.Hook != nil {
 			local := st.passFaults
 			hook := cfg.Hook

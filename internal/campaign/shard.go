@@ -104,7 +104,7 @@ func RunSharded(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, c
 
 	merged := mergeShards(faults, idxs, results)
 	if !merged.Interrupted {
-		if err := upgradeAborted(c, faults, merged); err != nil {
+		if err := upgradeAborted(c, faults, merged, cfg.fsimWorkers()); err != nil {
 			return nil, fmt.Errorf("campaign: merge fault simulation: %w", err)
 		}
 	}
@@ -209,8 +209,9 @@ func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result 
 // test-generating fault attack directly, the set of tests — and hence
 // the set of upgrades — is the same for every shard count. The merge
 // simulation is bookkeeping, not search, so it is not charged to
-// Stats.Effort.
-func upgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result) error {
+// Stats.Effort; its batches fan out over `workers` (the outcome is
+// worker-count-invariant).
+func upgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result, workers int) error {
 	var live []int
 	for i, o := range merged.Outcomes {
 		if o == atpg.Aborted {
@@ -232,7 +233,7 @@ func upgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result) er
 		for i, gi := range live {
 			sub[i] = faults[gi]
 		}
-		det, err := fs.Detects(seq, sub)
+		det, err := fs.DetectsParallel(context.Background(), seq, sub, workers)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"context"
+	"sync"
+
+	"seqatpg/internal/sim"
+)
+
+// DetectsParallel is Detects with the 63-fault batches fanned out over
+// a bounded worker pool. The good circuit is still simulated exactly
+// once; each worker carries its own reusable batch state and writes a
+// disjoint slice of the result, so the detected slice is byte-identical
+// to the serial Detects for every worker count — worker scheduling can
+// reorder only the activity counters' accumulation, and those are
+// order-independent sums.
+//
+// workers <= 1 (or a single batch) selects the serial path. A non-nil
+// context error cancels the remaining batches between dispatches and is
+// returned; batches already running finish first.
+func (fs *Simulator) DetectsParallel(ctx context.Context, seq [][]sim.Val, faults []Fault, workers int) ([]bool, error) {
+	nBatches := (len(faults) + 62) / 63
+	if workers > nBatches {
+		workers = nBatches
+	}
+	if workers <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return fs.Detects(seq, faults)
+	}
+	if err := fs.simulateGood(seq); err != nil {
+		return nil, err
+	}
+	detected := make([]bool, len(faults))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			bc := fs.getBatchCtx()
+			defer fs.putBatchCtx(bc)
+			for start := range jobs {
+				end := start + 63
+				if end > len(faults) {
+					end = len(faults)
+				}
+				fs.runBatch(bc, len(seq), faults[start:end], detected[start:end])
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for start := 0; start < len(faults); start += 63 {
+		select {
+		case jobs <- start:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return detected, nil
+}

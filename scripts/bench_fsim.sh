@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs the fault-simulation kernel benchmarks and records the results
+# in BENCH_fsim.json at the repo root, so kernel perf changes leave a
+# reviewable trail next to the code.
+#
+#   scripts/bench_fsim.sh               # default -benchtime=20x
+#   BENCHTIME=200x scripts/bench_fsim.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run='^$' -bench=. -benchtime="${BENCHTIME:-20x}" ./internal/fault/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (metrics != "") metrics = metrics ", "
+		metrics = metrics "\"" $(i + 1) "\": " $i
+	}
+	rec[n++] = "    {\"name\": \"" name "\", \"iterations\": " $2 ", " metrics "}"
+}
+END {
+	print "{"
+	print "  \"generated\": \"" date "\","
+	print "  \"go\": \"" gover "\","
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) print rec[i] (i < n - 1 ? "," : "")
+	print "  ]"
+	print "}"
+}' >BENCH_fsim.json
+
+echo "wrote BENCH_fsim.json"
