@@ -57,7 +57,7 @@ func main() {
 func run() int {
 	in := flag.String("in", "", "input netlist")
 	engine := flag.String("engine", "hitec", "engine: hitec, attest, sest")
-	budget := flag.Int64("budget", 0, "per-fault effort budget in gate-frame evaluations (default: 8000 x gates)")
+	budget := flag.Int64("budget", 0, "per-fault effort budget in gate evaluations (default: 8000 x gates)")
 	flush := flag.Int("flush", 0, "reset-hold cycles (default: measured from the circuit)")
 	showAborts := flag.Bool("aborts", false, "list the aborted faults")
 	relaxed := flag.Bool("relaxed", false, "retry failed state justifications on the good machine (recovers some aborts at extra effort)")
@@ -69,6 +69,9 @@ func run() int {
 	retries := flag.Int("retries", 2, "escalation passes re-attacking aborted faults at 2x, 4x, ... budget (0 = off)")
 	minFE := flag.Float64("min-fe", 0, "exit with status 3 if final fault efficiency is below this percentage")
 	fsimWorkers := flag.Int("fsim-workers", 0, "fault-simulation worker count (0 = all CPUs; results are identical for every value)")
+	sharedLearn := flag.Bool("shared-learn", false, "share the justification cache across faults (implies learning; verdict-preserving under generous budgets)")
+	learnCap := flag.Int("learn-cap", 0, "size bound per learning store, oldest evicted first (0 = default 4096)")
+	obliviousSim := flag.Bool("oblivious-sim", false, "verification mode: re-derive every window simulation with a full oblivious sweep (identical results, slower)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "atpg: -in is required")
@@ -119,6 +122,14 @@ func run() int {
 		return exitUsage
 	}
 	cfg.RelaxedJustify = *relaxed
+	if *sharedLearn {
+		cfg.Learning = true
+		cfg.SharedLearning = true
+	}
+	if *learnCap != 0 {
+		cfg.LearnCap = *learnCap
+	}
+	cfg.ObliviousSim = *obliviousSim
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -156,7 +167,7 @@ func run() int {
 	}
 	fmt.Printf("\n")
 	fmt.Printf("coverage:  FC %.2f%%  FE %.2f%%\n", s.FC(), s.FE())
-	fmt.Printf("effort:    %d gate-frame evaluations, %d backtracks\n", s.Effort, s.Backtracks)
+	fmt.Printf("effort:    %d gate evaluations, %d backtracks\n", s.Effort, s.Backtracks)
 	fmt.Printf("tests:     %d sequences\n", len(res.Tests))
 	fmt.Printf("states:    %d distinct states traversed\n", len(s.StatesTraversed))
 	if s.LearnHits+s.LearnPrunes > 0 {

@@ -11,7 +11,8 @@ import (
 	"seqatpg/internal/netlist"
 )
 
-// DefaultConfig returns the Attest-style configuration.
+// DefaultConfig returns the Attest-style configuration. faultBudget is
+// the per-fault effort allowance in gate evaluations.
 func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
 	return atpg.Config{
 		Name:            "attest",

@@ -7,6 +7,7 @@ import (
 	"seqatpg/internal/fault"
 	"seqatpg/internal/fsm"
 	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
 	"seqatpg/internal/sim"
 	"seqatpg/internal/synth"
 )
@@ -26,10 +27,23 @@ func synthForBench(b *testing.B) *netlist.Circuit {
 	return r.Circuit
 }
 
-// BenchmarkWindowSimulate measures the iterative-array evaluation that
-// dominates ATPG runtime: an 8-frame window over a mid-size circuit
-// with an excited fault (so every frame is evaluated).
-func BenchmarkWindowSimulate(b *testing.B) {
+// benchPair builds the original circuit and its backward-retimed
+// counterpart — the pairing the paper's complexity argument (and this
+// PR's speedup target) is about.
+func benchPair(b *testing.B) (orig *netlist.Circuit, re *netlist.Circuit, reFlush int) {
+	b.Helper()
+	orig = synthForBench(b)
+	r, err := retime.Backward(orig, netlist.DefaultLibrary(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return orig, r.Circuit, r.FlushCycles
+}
+
+// BenchmarkWindowSweep measures the from-scratch iterative-array sweep:
+// the cost the pre-incremental engine paid for every PODEM probe (an
+// 8-frame window over a mid-size circuit with an injected fault).
+func BenchmarkWindowSweep(b *testing.B) {
 	c := synthForBench(b)
 	order, err := c.TopoOrder()
 	if err != nil {
@@ -37,16 +51,96 @@ func BenchmarkWindowSimulate(b *testing.B) {
 	}
 	f := &fault.Fault{Gate: c.DFFs[0], Pin: -1, SA: sim.V1}
 	w := newWindow(c, order, 8, f)
-	// Assign every PI of frame 0 so the excitation check passes and all
-	// frames evaluate.
 	for i := range w.piVals[0] {
 		w.piVals[0][i] = sim.V0
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		w.invalidate()
 		w.simulate()
 	}
 	b.ReportMetric(float64(8*len(order)), "gate-frames/op")
+}
+
+// BenchmarkWindowIncremental measures the event-driven probe cost: one
+// frame-0 PI toggles per iteration, so only its fanout cone re-evaluates.
+// Compare against BenchmarkWindowSweep for the per-probe speedup.
+func BenchmarkWindowIncremental(b *testing.B) {
+	c := synthForBench(b)
+	order, err := c.TopoOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fault.Fault{Gate: c.DFFs[0], Pin: -1, SA: sim.V1}
+	w := newWindow(c, order, 8, f)
+	for i := range w.piVals[0] {
+		w.piVals[0][i] = sim.V0
+	}
+	w.simulate()
+	vals := [2]sim.Val{sim.V0, sim.V1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.setPI(0, i%len(c.PIs), vals[(i/len(c.PIs))%2])
+		w.simulate()
+	}
+}
+
+// BenchmarkSearch measures end-to-end deterministic test generation on
+// the original/retimed pair, in plain incremental mode, in oblivious
+// verification mode (which re-derives every probe with the full sweep
+// the old engine paid for — the speedup baseline), and with the shared
+// cross-fault justification cache. Effort (gate evaluations actually
+// charged) is reported as a metric; it is identical between incremental
+// and oblivious by construction, so the ns/op ratio isolates the
+// simulation win.
+func BenchmarkSearch(b *testing.B) {
+	orig, re, reFlush := benchPair(b)
+	circuits := []struct {
+		name  string
+		c     *netlist.Circuit
+		flush int
+	}{
+		{"orig", orig, 1},
+		{"retimed", re, reFlush},
+	}
+	modes := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"incremental", nil},
+		{"oblivious", func(c *Config) { c.ObliviousSim = true }},
+		{"shared-cache", func(c *Config) { c.Learning = true; c.SharedLearning = true }},
+	}
+	for _, cc := range circuits {
+		faults := fault.CollapsedUniverse(cc.c)
+		if len(faults) > 24 {
+			faults = faults[:24]
+		}
+		for _, m := range modes {
+			b.Run(cc.name+"/"+m.name, func(b *testing.B) {
+				var effort int64
+				for i := 0; i < b.N; i++ {
+					cfg := Config{
+						MaxFrames: 6, MaxBackSteps: 24, BacktrackLimit: 1000,
+						FaultBudget: 400_000, FlushCycles: cc.flush,
+					}
+					if m.mutate != nil {
+						m.mutate(&cfg)
+					}
+					e, err := New(cc.c, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := e.RunFaults(faults)
+					if err != nil {
+						b.Fatal(err)
+					}
+					effort = res.Stats.Effort
+				}
+				b.ReportMetric(float64(effort), "gate-evals/op")
+			})
+		}
+	}
 }
 
 // BenchmarkGeneratePerFault measures end-to-end per-fault generation on

@@ -38,6 +38,31 @@ type Config struct {
 	// unjustifiable state cubes are cached and pruned, and justified
 	// states are reused.
 	Learning bool
+	// SharedLearning (requires Learning) promotes the justification
+	// caches to a cross-fault store: good-machine justification
+	// sequences and top-level good-machine unjustifiability proofs are
+	// reused across every fault in the run. Reuse is sound — a cube the
+	// good machine cannot reach is unreachable by the composite machine
+	// under any fault, and a cached sequence is re-verified (charged) on
+	// the composite machine before it is accepted — so under generous
+	// budgets verdicts are unchanged and only effort drops. Because a
+	// hit does change the search trajectory, the flag participates in
+	// checkpoint fingerprints and is switched off by sharded-campaign
+	// normalization (like Learning itself).
+	SharedLearning bool
+	// LearnCap bounds each learning store (achieved states, failed
+	// cubes, shared failed cubes) to this many entries, evicting oldest
+	// first at fault boundaries. Zero selects the default of 4096;
+	// negative values are rejected.
+	LearnCap int
+	// ObliviousSim makes every window simulation finish with an
+	// uncharged from-scratch reference sweep after the charged
+	// incremental pass. Results and effort accounting are byte-identical
+	// to incremental mode by construction — this is a verification mode
+	// (the differential tests run it against the incremental engine),
+	// not a tuning knob, so like the fault-sim worker count it is
+	// excluded from campaign checkpoint fingerprints.
+	ObliviousSim bool
 	// RelaxedJustify retries a failed state justification on the good
 	// machine alone (ignoring the fault's effect on the setup path).
 	// This recovers testable faults that the strict composite-machine
@@ -88,6 +113,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: config %q: negative RandomLength %d", c.Name, c.RandomLength)
 	case c.NoFaultDrop && c.RandomSequences > 0:
 		return fmt.Errorf("atpg: config %q: NoFaultDrop with RandomSequences %d (the random phase only drops faults, so it would silently do nothing)", c.Name, c.RandomSequences)
+	case c.SharedLearning && !c.Learning:
+		return fmt.Errorf("atpg: config %q: SharedLearning without Learning (the shared cache is an extension of the per-fault learning store)", c.Name)
+	case c.LearnCap < 0:
+		return fmt.Errorf("atpg: config %q: negative LearnCap %d (use 0 for the default bound)", c.Name, c.LearnCap)
 	}
 	return nil
 }
@@ -102,7 +131,7 @@ type Stats struct {
 	// recovered, recorded (see FaultCrash) and the run continues.
 	Crashed     int
 	Unconfirmed int
-	Effort      int64 // deterministic CPU proxy: gate-frame evaluations
+	Effort      int64 // deterministic CPU proxy: gate evaluations actually performed
 	Backtracks  int64
 	// LearnHits/LearnPrunes count reuses of justified states and prunes
 	// via proven-unjustifiable cubes (SEST-style engines only).
@@ -150,6 +179,12 @@ type Engine struct {
 	failedKeys   []string               // insertion order of failedCubes (rollback journal)
 	achieved     map[string][][]sim.Val // fault-scoped concrete state -> vectors from reset
 	achievedKeys []achievedKey          // deterministic iteration order
+	// sharedFailed holds state cubes proven unjustifiable on the good
+	// machine by a complete top-level search — a cross-fault prune
+	// (SharedLearning only). It is separate from failedCubes because
+	// those entries are depth- and path-relative.
+	sharedFailed     map[string]bool
+	sharedFailedKeys []string // insertion order (rollback journal)
 
 	// cancelDone is the active run's ctx.Done(); cancelled latches once
 	// the channel closes so every subsequent charge fails fast.
@@ -188,14 +223,18 @@ func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
 	if cfg.FlushCycles < 1 {
 		cfg.FlushCycles = 1
 	}
+	if cfg.LearnCap == 0 {
+		cfg.LearnCap = 4096
+	}
 	e := &Engine{
-		c:           c,
-		cfg:         cfg,
-		order:       order,
-		scoap:       computeSCOAP(c),
-		obsDist:     computeObsDist(c),
-		failedCubes: map[string]bool{},
-		achieved:    map[string][][]sim.Val{},
+		c:            c,
+		cfg:          cfg,
+		order:        order,
+		scoap:        computeSCOAP(c),
+		obsDist:      computeObsDist(c),
+		failedCubes:  map[string]bool{},
+		achieved:     map[string][][]sim.Val{},
+		sharedFailed: map[string]bool{},
 	}
 	e.Stats.StatesTraversed = map[uint64]bool{}
 	e.fsim, err = fault.NewSimulator(c)
@@ -284,14 +323,16 @@ func (e *Engine) checkCancel() bool {
 	return e.cancelled
 }
 
-// charge burns effort; false means a budget ran out (or the run was
+// charge burns effort, measured in gate evaluations actually performed
+// (the event-driven window reports exactly what it touched, so Effort
+// is an honest CPU proxy); false means a budget ran out (or the run was
 // cancelled — a cancelled charge burns nothing, so the rollback to the
 // last fault boundary stays exact).
-func (e *Engine) charge(frames int64) bool {
+func (e *Engine) charge(evals int64) bool {
 	if e.checkCancel() {
 		return false
 	}
-	cost := frames * int64(len(e.order))
+	cost := evals
 	e.Stats.Effort += cost
 	e.remaining -= cost
 	if e.cfg.TotalBudget > 0 {
@@ -302,6 +343,14 @@ func (e *Engine) charge(frames int64) bool {
 		}
 	}
 	return e.remaining > 0
+}
+
+// newWin builds a k-frame window wired to the engine's configuration
+// (oblivious reference mode when Config.ObliviousSim is set).
+func (e *Engine) newWin(k int, flt *fault.Fault) *window {
+	w := newWindow(e.c, e.order, k, flt)
+	w.oblivious = e.cfg.ObliviousSim
+	return w
 }
 
 func (e *Engine) piIndexOfReset() int {
@@ -354,7 +403,7 @@ func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
 	// a small backtrack allowance: genuinely redundant faults exhaust
 	// their decision tree quickly; everything else proceeds to the real
 	// search.
-	w := newWindow(e.c, e.order, 1, f)
+	w := e.newWin(1, f)
 	pre := &detectProblem{e: e, extendedObs: true}
 	preLimit := 256
 	if e.cfg.BacktrackLimit > 0 && e.cfg.BacktrackLimit < preLimit {
@@ -379,11 +428,13 @@ func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
 	}
 
 	for k := 1; k <= e.cfg.MaxFrames; k++ {
-		w := newWindow(e.c, e.order, k, f)
+		w := e.newWin(k, f)
 		prob := &detectProblem{e: e}
 		var final [][]sim.Val
 		out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
-			cube := w.stateCube()
+			// stateView is a live view, safe here: the window is
+			// suspended for the whole (synchronous) justification.
+			cube := w.stateView()
 			prefix, ok := e.justify(f, faultyReset, cube, e.cfg.MaxBackSteps, map[string]bool{})
 			if !ok && e.cfg.RelaxedJustify {
 				// Second chance on the good machine alone; the fault
@@ -462,12 +513,11 @@ func fullySpecified(cube []sim.Val) (uint64, bool) {
 // state. Justification anchors only on bits where both rails agree.
 func (e *Engine) faultyFlushState(f *fault.Fault) []V5 {
 	k := len(e.flushPrefix)
-	w := newWindow(e.c, e.order, k, f)
+	w := e.newWin(k, f)
 	for t, vec := range e.flushPrefix {
 		copy(w.piVals[t], vec)
 	}
-	w.simulate()
-	e.charge(int64(k))
+	e.charge(int64(w.simulate()))
 	out := make([]V5, len(e.c.DFFs))
 	for i, id := range e.c.DFFs {
 		out[i] = w.faninValAt(k-1, id, 0)
@@ -493,8 +543,13 @@ func compatible5(cube []sim.Val, state []V5) bool {
 // composite machine (the circuit under the target fault) from the
 // post-reset state into the cube. Returns the vectors in forward
 // application order, reset prefix NOT included. Learning caches are
-// keyed per fault: a cube justifiable in the good machine need not be
-// justifiable under a different fault.
+// keyed per fault — a cube justifiable in the good machine need not be
+// justifiable under a different fault — but with SharedLearning the
+// good-machine ("" key) entries are additionally consulted for every
+// fault: achieved sequences after a charged composite-machine
+// verification replay, and failed cubes directly (good-machine
+// unreachability is fault-independent: the composite machine only
+// reaches states its good rail reaches).
 func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth int, onPath map[string]bool) ([][]sim.Val, bool) {
 	if compatible5(cube, faultyReset) {
 		return nil, true
@@ -503,6 +558,7 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 	if f != nil {
 		fkey = f.String() + "|"
 	}
+	shared := e.cfg.SharedLearning && f != nil
 	if bits, ok := fullySpecified(cube); ok {
 		// Learning: a state we already know how to reach (under this
 		// fault).
@@ -510,6 +566,13 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 			if vecs, ok := e.achieved[fkey+fmt.Sprint(bits)]; ok {
 				e.Stats.LearnHits++
 				return vecs, true
+			}
+			if shared {
+				if vecs, ok := e.achieved[fmt.Sprint(bits)]; ok && e.verifyJustification(f, vecs, cube) {
+					e.Stats.LearnHits++
+					e.recordAchieved(fkey, bits, vecs)
+					return vecs, true
+				}
 			}
 		}
 	}
@@ -524,20 +587,38 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 		e.Stats.LearnPrunes++
 		return nil, false
 	}
+	if shared && e.sharedFailed[key] {
+		e.Stats.LearnPrunes++
+		return nil, false
+	}
 	// Learning: reuse any achieved concrete state compatible with the
-	// cube.
+	// cube — own-fault entries directly, shared good-machine entries
+	// only after composite verification.
 	if e.cfg.Learning {
 		for _, st := range e.achievedKeys {
-			if st.fault != fkey {
+			if st.fault == fkey {
+				stVals := unpackState(st.bits, len(cube))
+				if compatible(cube, stVals) {
+					e.Stats.LearnHits++
+					return e.achieved[fkey+fmt.Sprint(st.bits)], true
+				}
+				continue
+			}
+			if !shared || st.fault != "" {
 				continue
 			}
 			stVals := unpackState(st.bits, len(cube))
-			if compatible(cube, stVals) {
+			if !compatible(cube, stVals) {
+				continue
+			}
+			if vecs := e.achieved[fmt.Sprint(st.bits)]; e.verifyJustification(f, vecs, cube) {
 				e.Stats.LearnHits++
-				return e.achieved[fkey+fmt.Sprint(st.bits)], true
+				e.recordAchieved(fkey, st.bits, vecs)
+				return vecs, true
 			}
 		}
 	}
+	topLevel := len(onPath) == 0
 	onPath[key] = true
 	defer delete(onPath, key)
 
@@ -549,11 +630,13 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 		dff := e.c.DFFs[i]
 		targets = append(targets, targetLine{gate: e.c.Gates[dff].Fanin[0], dff: dff, val: v})
 	}
-	w := newWindow(e.c, e.order, 1, f)
+	w := e.newWin(1, f)
 	prob := &justifyProblem{targets: targets}
 	var result [][]sim.Val
 	out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
-		prev := w.stateCube()
+		// stateView is a live view, safe here: the recursive call reads
+		// it synchronously while this window is suspended.
+		prev := w.stateView()
 		vec := w.vectors()[0]
 		sub, ok := e.justify(f, faultyReset, prev, depth-1, onPath)
 		if !ok {
@@ -563,10 +646,13 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 		// Learning: remember how to reach this cube's concrete states.
 		if e.cfg.Learning {
 			if bits, full := fullySpecified(cube); full {
-				k := fkey + fmt.Sprint(bits)
-				if _, seen := e.achieved[k]; !seen {
-					e.achieved[k] = result
-					e.achievedKeys = append(e.achievedKeys, achievedKey{fault: fkey, bits: bits})
+				e.recordAchieved(fkey, bits, result)
+				if e.cfg.SharedLearning && fkey != "" {
+					// The composite machine reached bits on both rails,
+					// so the same vectors reach it on the good machine
+					// alone — publish to the shared ("" key) store.
+					// Consumers under other faults re-verify before use.
+					e.recordAchieved("", bits, result)
 				}
 			}
 		}
@@ -578,8 +664,88 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 	if out == searchExhausted && e.cfg.Learning {
 		e.failedCubes[fkey+key] = true
 		e.failedKeys = append(e.failedKeys, fkey+key)
+		if e.cfg.SharedLearning && f == nil && topLevel && depth == e.cfg.MaxBackSteps &&
+			!e.sharedFailed[key] {
+			// A complete good-machine exhaustion at full depth with no
+			// path restrictions proves the cube unreachable outright —
+			// shareable as a prune under every fault.
+			e.sharedFailed[key] = true
+			e.sharedFailedKeys = append(e.sharedFailedKeys, key)
+		}
 	}
 	return nil, false
+}
+
+// recordAchieved stores one learned justification under the given fault
+// key, appending to the insertion-order journal the boundary rollback
+// and snapshot machinery iterate.
+func (e *Engine) recordAchieved(fkey string, bits uint64, seq [][]sim.Val) {
+	k := fkey + fmt.Sprint(bits)
+	if _, seen := e.achieved[k]; seen {
+		return
+	}
+	e.achieved[k] = seq
+	e.achievedKeys = append(e.achievedKeys, achievedKey{fault: fkey, bits: bits})
+}
+
+// verifyJustification replays a cached candidate sequence on the
+// composite machine under fault f and checks that it still establishes
+// every specified cube bit on both rails. The replay is charged like
+// any other simulation: a shared-cache hit saves search effort, not
+// simulation honesty. Verification is what keeps cross-fault reuse
+// sound — a sequence that justifies a state on the good machine can be
+// invalidated by the fault's effect on the setup path.
+func (e *Engine) verifyJustification(f *fault.Fault, vecs [][]sim.Val, cube []sim.Val) bool {
+	k := len(e.flushPrefix) + len(vecs)
+	w := e.newWin(k, f)
+	for t, vec := range e.flushPrefix {
+		copy(w.piVals[t], vec)
+	}
+	for t, vec := range vecs {
+		copy(w.piVals[len(e.flushPrefix)+t], vec)
+	}
+	e.charge(int64(w.simulate()))
+	for i, v := range cube {
+		if v == sim.VX {
+			continue
+		}
+		got := w.faninValAt(k-1, e.c.DFFs[i], 0)
+		if got.G != v || got.F != v {
+			return false
+		}
+	}
+	return true
+}
+
+// capLearning enforces Config.LearnCap on the learning stores, evicting
+// oldest entries first. It runs only at fault boundaries: the rollback
+// journals in boundaryMark are length-based, so a mid-fault eviction
+// would break the bit-exact rollback (and hence checkpoint/resume)
+// guarantee. Eviction never changes a verdict — a missing entry only
+// sends the search back to first principles.
+func (e *Engine) capLearning() {
+	limit := e.cfg.LearnCap
+	if limit <= 0 {
+		return
+	}
+	if n := len(e.achievedKeys) - limit; n > 0 {
+		for _, k := range e.achievedKeys[:n] {
+			delete(e.achieved, k.fault+fmt.Sprint(k.bits))
+		}
+		e.achievedKeys = append([]achievedKey(nil), e.achievedKeys[n:]...)
+	}
+	if n := len(e.failedKeys) - limit; n > 0 {
+		for _, k := range e.failedKeys[:n] {
+			delete(e.failedCubes, k)
+		}
+		e.failedKeys = append([]string(nil), e.failedKeys[n:]...)
+	}
+	if n := len(e.sharedFailedKeys) - limit; n > 0 {
+		for _, k := range e.sharedFailedKeys[:n] {
+			delete(e.sharedFailed, k)
+		}
+		e.sharedFailedKeys = append([]string(nil), e.sharedFailedKeys[n:]...)
+	}
 }
 
 // achievedKey identifies a learned, reachable concrete state under a

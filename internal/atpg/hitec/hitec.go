@@ -12,9 +12,10 @@ import (
 
 // DefaultConfig returns the HITEC-style configuration. flushCycles is
 // the reset-hold prefix length of the circuit (1 for non-retimed
-// circuits). faultBudget is the per-fault effort allowance in
-// gate-frame evaluations; the experiment harness scales it to model the
-// paper's CPU-time limits.
+// circuits). faultBudget is the per-fault effort allowance in gate
+// evaluations (the event-driven window charges exactly the gates it
+// touches); the experiment harness scales it to model the paper's
+// CPU-time limits.
 func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
 	return atpg.Config{
 		Name:           "hitec",

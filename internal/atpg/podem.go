@@ -65,16 +65,15 @@ func (e *Engine) podem(w *window, prob problem, backtrackLimit int, onSolution f
 
 	assign := func(pin pseudoInput, v sim.Val) {
 		if pin.isState {
-			w.stateVals[pin.index] = v
+			w.setState(pin.index, v)
 		} else {
-			w.piVals[pin.frame][pin.index] = v
+			w.setPI(pin.frame, pin.index, v)
 		}
 	}
 	unassign := func(pin pseudoInput) { assign(pin, sim.VX) }
 
 	simulate := func() bool {
-		frames := w.simulate()
-		return e.charge(int64(frames))
+		return e.charge(int64(w.simulate()))
 	}
 
 	// backtrack pops/flips decisions; returns false when the tree is

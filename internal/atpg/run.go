@@ -67,28 +67,30 @@ type runLoopState struct {
 // is what makes checkpoint/resume exact: resuming replays the attempt
 // from scratch and takes the same deterministic path.
 type boundaryMark struct {
-	effort      int64
-	backtracks  int64
-	learnHits   int64
-	learnPrunes int64
-	unconfirmed int
-	totalLeft   int64
-	outOfBudget bool
-	achievedLen int
-	failedLen   int
+	effort          int64
+	backtracks      int64
+	learnHits       int64
+	learnPrunes     int64
+	unconfirmed     int
+	totalLeft       int64
+	outOfBudget     bool
+	achievedLen     int
+	failedLen       int
+	sharedFailedLen int
 }
 
 func (e *Engine) mark() boundaryMark {
 	return boundaryMark{
-		effort:      e.Stats.Effort,
-		backtracks:  e.Stats.Backtracks,
-		learnHits:   e.Stats.LearnHits,
-		learnPrunes: e.Stats.LearnPrunes,
-		unconfirmed: e.Stats.Unconfirmed,
-		totalLeft:   e.totalLeft,
-		outOfBudget: e.outOfBudget,
-		achievedLen: len(e.achievedKeys),
-		failedLen:   len(e.failedKeys),
+		effort:          e.Stats.Effort,
+		backtracks:      e.Stats.Backtracks,
+		learnHits:       e.Stats.LearnHits,
+		learnPrunes:     e.Stats.LearnPrunes,
+		unconfirmed:     e.Stats.Unconfirmed,
+		totalLeft:       e.totalLeft,
+		outOfBudget:     e.outOfBudget,
+		achievedLen:     len(e.achievedKeys),
+		failedLen:       len(e.failedKeys),
+		sharedFailedLen: len(e.sharedFailedKeys),
 	}
 }
 
@@ -108,6 +110,10 @@ func (e *Engine) rollback(m boundaryMark) {
 		delete(e.failedCubes, k)
 	}
 	e.failedKeys = e.failedKeys[:m.failedLen]
+	for _, k := range e.sharedFailedKeys[m.sharedFailedLen:] {
+		delete(e.sharedFailed, k)
+	}
+	e.sharedFailedKeys = e.sharedFailedKeys[:m.sharedFailedLen]
 }
 
 // generateSafe runs one fault search with panic isolation.
@@ -197,7 +203,9 @@ func (e *Engine) ResumeFaults(ctx context.Context, faults []fault.Fault, from *S
 		if err != nil {
 			return err
 		}
-		e.charge(fsimPasses(len(live)) * int64(len(seq)))
+		// charge is denominated in gate evaluations; a simulator pass
+		// over one vector touches every gate once.
+		e.charge(fsimPasses(len(live)) * int64(len(seq)) * int64(len(e.order)))
 		for k, d := range det {
 			if d {
 				rs.status[liveIdx[k]] = 1
@@ -302,6 +310,7 @@ func (e *Engine) ResumeFaults(ctx context.Context, faults []fault.Fault, from *S
 			e.Stats.Crashed++
 			rs.crashes = append(rs.crashes, crash)
 			rs.next = i + 1
+			e.capLearning()
 			boundary(i + 1)
 			continue
 		}
@@ -324,6 +333,10 @@ func (e *Engine) ResumeFaults(ctx context.Context, faults []fault.Fault, from *S
 			e.Stats.Aborted++
 		}
 		rs.next = i + 1
+		// Size-bound the learning stores here, at the fault boundary:
+		// mid-fault eviction would invalidate the length-based rollback
+		// journals captured by mark().
+		e.capLearning()
 		boundary(i + 1)
 	}
 

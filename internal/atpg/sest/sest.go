@@ -25,6 +25,20 @@ func DefaultConfig(flushCycles int, faultBudget int64) atpg.Config {
 	}
 }
 
+// SharedConfig is DefaultConfig with the cross-fault justification
+// cache enabled: good-machine justification sequences and top-level
+// unjustifiability proofs are reused across every fault in the run
+// (entries are re-verified on the composite machine before use, so
+// verdicts are preserved and only effort drops). The cache makes a
+// run's per-fault outcomes depend on fault order, so sharded campaigns
+// normalize it away; use DefaultConfig where shard invariance matters.
+func SharedConfig(flushCycles int, faultBudget int64) atpg.Config {
+	cfg := DefaultConfig(flushCycles, faultBudget)
+	cfg.Name = "sest-shared"
+	cfg.SharedLearning = true
+	return cfg
+}
+
 // New builds a SEST-style engine for the circuit.
 func New(c *netlist.Circuit, flushCycles int, faultBudget int64) (*atpg.Engine, error) {
 	return atpg.New(c, DefaultConfig(flushCycles, faultBudget))

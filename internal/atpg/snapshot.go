@@ -22,10 +22,13 @@ type Snapshot struct {
 	TotalLeft   int64
 	OutOfBudget bool
 	// FailedCubes and Achieved are the SEST learning caches in
-	// insertion order (empty unless Config.Learning).
-	FailedCubes []string
-	Achieved    []AchievedState
-	Crashes     []*FaultCrash
+	// insertion order (empty unless Config.Learning). SharedFailed is
+	// the cross-fault good-machine unjustifiability store (empty unless
+	// Config.SharedLearning).
+	FailedCubes  []string
+	SharedFailed []string
+	Achieved     []AchievedState
+	Crashes      []*FaultCrash
 }
 
 // AchievedState is one learned justification: the input vectors that
@@ -64,15 +67,16 @@ func (e *Engine) buildSnapshot(rs *runLoopState) *Snapshot {
 	st := e.Stats
 	st.StatesTraversed = copyStateSet(e.Stats.StatesTraversed)
 	snap := &Snapshot{
-		Next:        rs.next,
-		RandomDone:  rs.randomDone,
-		Status:      append([]byte(nil), rs.status...),
-		Tests:       copyTests(rs.tests),
-		Stats:       st,
-		TotalLeft:   e.totalLeft,
-		OutOfBudget: e.outOfBudget,
-		FailedCubes: append([]string(nil), e.failedKeys...),
-		Crashes:     append([]*FaultCrash(nil), rs.crashes...),
+		Next:         rs.next,
+		RandomDone:   rs.randomDone,
+		Status:       append([]byte(nil), rs.status...),
+		Tests:        copyTests(rs.tests),
+		Stats:        st,
+		TotalLeft:    e.totalLeft,
+		OutOfBudget:  e.outOfBudget,
+		FailedCubes:  append([]string(nil), e.failedKeys...),
+		SharedFailed: append([]string(nil), e.sharedFailedKeys...),
+		Crashes:      append([]*FaultCrash(nil), rs.crashes...),
 	}
 	for _, k := range e.achievedKeys {
 		snap.Achieved = append(snap.Achieved, AchievedState{
@@ -117,6 +121,11 @@ func (e *Engine) restoreSnapshot(snap *Snapshot, rs *runLoopState, n int) error 
 	e.failedKeys = append([]string(nil), snap.FailedCubes...)
 	for _, k := range e.failedKeys {
 		e.failedCubes[k] = true
+	}
+	e.sharedFailed = make(map[string]bool, len(snap.SharedFailed))
+	e.sharedFailedKeys = append([]string(nil), snap.SharedFailed...)
+	for _, k := range e.sharedFailedKeys {
+		e.sharedFailed[k] = true
 	}
 	e.achieved = make(map[string][][]sim.Val, len(snap.Achieved))
 	e.achievedKeys = e.achievedKeys[:0]

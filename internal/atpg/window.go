@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"sort"
+
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/sim"
@@ -11,11 +13,21 @@ import (
 // bits are free pseudo-inputs (to be justified later); the target fault
 // (if any) is injected in every frame, as a permanent stuck-at defect
 // is present in every time frame.
+//
+// Simulation is event-driven: setPI/setState record the touched input
+// gates as seeds, and simulate re-evaluates only their fanout cones in
+// topological order per frame, crossing a DFF boundary into the next
+// frame only when the captured D value actually changed. The
+// post-simulation snapshot (D-frontier, PO detection, last-frame D
+// lines) is maintained incrementally by the same pass. A per-frame
+// oblivious sweep remains as a fallback once an event cascade grows
+// past fallbackEvals (mirroring fault.Simulator.FallbackEvals), and as
+// the uncharged reference pass in oblivious verification mode.
 type window struct {
 	c     *netlist.Circuit
 	order []int
 	k     int
-	flt   *fault.Fault // nil in justification mode
+	flt   *fault.Fault // nil in good-machine justification mode
 
 	piVals    [][]sim.Val // [frame][pi] assigned values; VX = unassigned
 	stateVals []sim.Val   // frame-0 pseudo-input state; VX = unassigned
@@ -24,11 +36,50 @@ type window struct {
 	dffIdx map[int]int // gate id -> state bit position
 	piIdx  map[int]int // gate id -> PI position
 
-	// Post-simulation snapshot, refreshed by simulate(): the problem
-	// callbacks read these instead of rescanning the window.
-	poDetected bool
+	// Static topology, shared with the circuit: pos is the inverse of
+	// order, fanouts the forward adjacency, dffBits maps a D-line driver
+	// to the state-bit positions it feeds (for last-frame D tracking).
+	pos     []int
+	fanouts [][]int
+	dffBits map[int][]int
+
+	// Hoisted fault-injection site (-1s when flt is nil, so no real
+	// gate matches and the non-faulted path never branches on it).
+	fGate, fPin int
+	fSA         sim.Val
+
+	// Event machinery. full forces the next simulate to sweep
+	// everything (fresh window, or after invalidate); seeds[t] lists
+	// the gates whose inputs changed in frame t, pending dedupes them.
+	full    bool
+	seeds   [][]int
+	pending []bool // [t*nGates+id]
+	pq      []int  // per-frame min-heap of gate ids, ordered by pos
+
+	// fallbackEvals is the per-frame event-cascade threshold beyond
+	// which the frame is finished with one oblivious sweep: > 0 is an
+	// explicit gate count, 0 selects the default of 3/4 of the gate
+	// count, < 0 disables the fallback (pure event-driven).
+	fallbackEvals int
+
+	// oblivious makes every simulate finish with an uncharged
+	// from-scratch sweep + snapshot rebuild. The charged incremental
+	// pass still runs first, so effort accounting and all observable
+	// results are byte-identical to incremental mode — this is the
+	// reference mode the differential tests pin the engine against.
+	oblivious bool
+
+	// Post-simulation snapshot, maintained incrementally: the problem
+	// callbacks read these instead of rescanning the window. frontier
+	// is kept sorted by (frame, topological position) — the order the
+	// full rescan produces — because objective selection tie-breaks on
+	// first encounter.
+	poD        []bool // [t*nGates+id], Output gates only
+	poDCount   int
 	frontier   []frontierEntry
-	dLast      bool
+	inFrontier []bool // [t*nGates+id]
+	dLastD     []bool // per state bit: last-frame D line carries an effect
+	dLastCount int
 	lineGood   sim.Val
 }
 
@@ -36,19 +87,33 @@ type frontierEntry struct{ t, id int }
 
 func newWindow(c *netlist.Circuit, order []int, k int, flt *fault.Fault) *window {
 	w := &window{
-		c:      c,
-		order:  order,
-		k:      k,
-		flt:    flt,
-		dffIdx: map[int]int{},
-		piIdx:  map[int]int{},
+		c:       c,
+		order:   order,
+		k:       k,
+		flt:     flt,
+		dffIdx:  map[int]int{},
+		piIdx:   map[int]int{},
+		dffBits: map[int][]int{},
+		fGate:   -1,
+		fPin:    -1,
+		full:    true,
+	}
+	if flt != nil {
+		w.fGate, w.fPin, w.fSA = flt.Gate, flt.Pin, flt.SA
 	}
 	for i, id := range c.DFFs {
 		w.dffIdx[id] = i
+		drv := c.Gates[id].Fanin[0]
+		w.dffBits[drv] = append(w.dffBits[drv], i)
 	}
 	for i, id := range c.PIs {
 		w.piIdx[id] = i
 	}
+	w.pos = make([]int, len(c.Gates))
+	for i, id := range order {
+		w.pos[id] = i
+	}
+	w.fanouts = c.Fanouts()
 	w.piVals = make([][]sim.Val, k)
 	for t := range w.piVals {
 		w.piVals[t] = make([]sim.Val, len(c.PIs))
@@ -64,156 +129,442 @@ func newWindow(c *netlist.Circuit, order []int, k int, flt *fault.Fault) *window
 	for t := range w.vals {
 		w.vals[t] = make([]V5, len(c.Gates))
 	}
+	w.seeds = make([][]int, k)
+	w.pending = make([]bool, k*len(c.Gates))
+	w.poD = make([]bool, k*len(c.Gates))
+	w.inFrontier = make([]bool, k*len(c.Gates))
+	w.dLastD = make([]bool, len(c.DFFs))
 	return w
 }
 
-// faninVal returns the composite value gate id sees on fanin pin at
-// frame t, with branch-fault injection applied.
-func (w *window) faninVal(t, id, pin int) V5 {
-	v := w.vals[t][w.c.Gates[id].Fanin[pin]]
-	if w.flt != nil && w.flt.Pin == pin && w.flt.Gate == id {
-		v.F = w.flt.SA
+// setPI assigns a primary input of frame t, seeding the event queue
+// when the value actually changes.
+func (w *window) setPI(t, i int, v sim.Val) {
+	if w.piVals[t][i] == v {
+		return
+	}
+	w.piVals[t][i] = v
+	w.mark(t, w.c.PIs[i])
+}
+
+// setState assigns a frame-0 pseudo-input state bit.
+func (w *window) setState(i int, v sim.Val) {
+	if w.stateVals[i] == v {
+		return
+	}
+	w.stateVals[i] = v
+	w.mark(0, w.c.DFFs[i])
+}
+
+// mark queues gate id for re-evaluation in frame t.
+func (w *window) mark(t, id int) {
+	if w.full {
+		return // the next simulate sweeps everything anyway
+	}
+	key := t*len(w.c.Gates) + id
+	if w.pending[key] {
+		return
+	}
+	w.pending[key] = true
+	w.seeds[t] = append(w.seeds[t], id)
+}
+
+// invalidate forces the next simulate to recompute the window from
+// scratch (used when piVals/stateVals were written directly, bypassing
+// setPI/setState — e.g. bulk vector loads).
+func (w *window) invalidate() {
+	w.full = true
+	nG := len(w.c.Gates)
+	for t := range w.seeds {
+		for _, id := range w.seeds[t] {
+			w.pending[t*nG+id] = false
+		}
+		w.seeds[t] = w.seeds[t][:0]
+	}
+}
+
+// simulate brings the window up to date with the current pseudo-input
+// assignments and returns the number of gate evaluations performed (the
+// effort charge). A fresh (or invalidated) window costs one full sweep,
+// k x gates; after that only the fanout cones of changed inputs are
+// re-evaluated. In oblivious mode an additional uncharged reference
+// sweep re-derives everything from scratch.
+func (w *window) simulate() int {
+	if w.full {
+		w.full = false
+		w.sweepAll()
+		return w.k * len(w.order)
+	}
+	evals := w.propagate()
+	if w.flt != nil {
+		w.lineGood = w.faultLineGoodRaw()
+	}
+	if w.oblivious {
+		w.sweepAll()
+	}
+	return evals
+}
+
+// propagate drains the event queues frame by frame. Within a frame the
+// pending gates are popped in topological order (same-frame fanout of a
+// gate always sits at a strictly greater position, so heap pops are
+// non-decreasing and every gate is evaluated after its changed fanins);
+// a change on a DFF D line seeds the DFF in the next frame. Once a
+// frame's cascade exceeds the fallback threshold the rest of the frame
+// is finished with one oblivious sweep.
+func (w *window) propagate() int {
+	nG := len(w.c.Gates)
+	threshold := w.fallbackEvals
+	if threshold == 0 {
+		threshold = 3 * len(w.order) / 4
+	}
+	evals := 0
+	for t := 0; t < w.k; t++ {
+		if len(w.seeds[t]) == 0 {
+			continue
+		}
+		w.pq = w.pq[:0]
+		for _, id := range w.seeds[t] {
+			w.heapPush(id)
+		}
+		w.seeds[t] = w.seeds[t][:0]
+		frameEvals := 0
+		for len(w.pq) > 0 {
+			if threshold > 0 && frameEvals >= threshold {
+				for _, id := range w.pq {
+					w.pending[t*nG+id] = false
+				}
+				w.pq = w.pq[:0]
+				frameEvals += w.sweepFrame(t)
+				break
+			}
+			id := w.heapPop()
+			w.pending[t*nG+id] = false
+			frameEvals++
+			if !w.evalGateAt(t, id) {
+				continue
+			}
+			for _, h := range w.fanouts[id] {
+				if w.c.Gates[h].Type == netlist.DFF {
+					if t+1 < w.k {
+						w.mark(t+1, h)
+					}
+					continue
+				}
+				key := t*nG + h
+				if !w.pending[key] {
+					w.pending[key] = true
+					w.heapPush(h)
+				}
+			}
+		}
+		evals += frameEvals
+	}
+	return evals
+}
+
+// sweepFrame re-evaluates every gate of frame t in topological order,
+// seeding the next frame for every changed D line.
+func (w *window) sweepFrame(t int) int {
+	for _, id := range w.order {
+		if !w.evalGateAt(t, id) || t+1 >= w.k {
+			continue
+		}
+		for _, h := range w.fanouts[id] {
+			if w.c.Gates[h].Type == netlist.DFF {
+				w.mark(t+1, h)
+			}
+		}
+	}
+	return len(w.order)
+}
+
+// sweepAll recomputes every frame from scratch and rebuilds the
+// snapshot; any queued events are covered by the sweep and dropped.
+func (w *window) sweepAll() {
+	for t := 0; t < w.k; t++ {
+		vals := w.vals[t]
+		for _, id := range w.order {
+			g := &w.c.Gates[id]
+			if w.flt == nil {
+				vals[id] = w.computeGood(t, id, g)
+			} else {
+				vals[id] = w.computeComposite(t, id, g)
+			}
+		}
+	}
+	nG := len(w.c.Gates)
+	for t := range w.seeds {
+		for _, id := range w.seeds[t] {
+			w.pending[t*nG+id] = false
+		}
+		w.seeds[t] = w.seeds[t][:0]
+	}
+	w.refresh()
+}
+
+// evalGateAt recomputes one gate of one frame, updates the snapshot for
+// it, and reports whether its value changed.
+func (w *window) evalGateAt(t, id int) bool {
+	g := &w.c.Gates[id]
+	var v V5
+	if w.flt == nil {
+		v = w.computeGood(t, id, g)
+	} else {
+		v = w.computeComposite(t, id, g)
+	}
+	changed := v != w.vals[t][id]
+	w.vals[t][id] = v
+	w.updateSnapshotAt(t, id, g)
+	return changed
+}
+
+// computeGood evaluates one gate on the good rail only — the fast path
+// for fault-free (justification-mode) windows, where the faulty rail
+// always mirrors the good one and no injection checks are needed.
+func (w *window) computeGood(t, id int, g *netlist.Gate) V5 {
+	vals := w.vals[t]
+	var gv sim.Val
+	switch g.Type {
+	case netlist.Input:
+		gv = w.piVals[t][w.piIdx[id]]
+	case netlist.DFF:
+		if t == 0 {
+			gv = w.stateVals[w.dffIdx[id]]
+		} else {
+			gv = w.vals[t-1][g.Fanin[0]].G
+		}
+	case netlist.Const0:
+		gv = sim.V0
+	case netlist.Const1:
+		gv = sim.V1
+	case netlist.Buf, netlist.Output:
+		gv = vals[g.Fanin[0]].G
+	case netlist.Not:
+		gv = sim.NotV(vals[g.Fanin[0]].G)
+	case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+		ctrl := sim.V0
+		if g.Type == netlist.Or || g.Type == netlist.Nor {
+			ctrl = sim.V1
+		}
+		acc, sawX := sim.NotV(ctrl), false
+		for _, f := range g.Fanin {
+			in := vals[f].G
+			if in == ctrl {
+				acc = ctrl
+			} else if in == sim.VX {
+				sawX = true
+			}
+		}
+		if acc != ctrl && sawX {
+			acc = sim.VX
+		}
+		if g.Type == netlist.Nand || g.Type == netlist.Nor {
+			acc = sim.NotV(acc)
+		}
+		gv = acc
+	case netlist.Xor, netlist.Xnor:
+		acc := sim.V0
+		for _, f := range g.Fanin {
+			acc = sim.XorV(acc, vals[f].G)
+		}
+		if g.Type == netlist.Xnor {
+			acc = sim.NotV(acc)
+		}
+		gv = acc
+	}
+	return vBoth(gv)
+}
+
+// computeComposite evaluates one gate on both rails with the target
+// fault injected; the inner loop is allocation-free — both rails are
+// folded directly over the fanins.
+func (w *window) computeComposite(t, id int, g *netlist.Gate) V5 {
+	vals := w.vals[t]
+	var v V5
+	switch g.Type {
+	case netlist.Input:
+		v = vBoth(w.piVals[t][w.piIdx[id]])
+	case netlist.DFF:
+		if t == 0 {
+			v = vBoth(w.stateVals[w.dffIdx[id]])
+		} else {
+			v = w.vals[t-1][g.Fanin[0]]
+			if id == w.fGate && w.fPin == 0 {
+				v.F = w.fSA
+			}
+		}
+	case netlist.Const0:
+		v = vBoth(sim.V0)
+	case netlist.Const1:
+		v = vBoth(sim.V1)
+	case netlist.Buf, netlist.Output:
+		v = vals[g.Fanin[0]]
+		if id == w.fGate && w.fPin == 0 {
+			v.F = w.fSA
+		}
+	case netlist.Not:
+		v = vals[g.Fanin[0]]
+		if id == w.fGate && w.fPin == 0 {
+			v.F = w.fSA
+		}
+		v = V5{sim.NotV(v.G), sim.NotV(v.F)}
+	case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+		// Fold both rails. ctrl is the controlling value.
+		ctrl := sim.V0
+		if g.Type == netlist.Or || g.Type == netlist.Nor {
+			ctrl = sim.V1
+		}
+		gAcc, fAcc := sim.NotV(ctrl), sim.NotV(ctrl)
+		gSawX, fSawX := false, false
+		for pin, f := range g.Fanin {
+			in := vals[f]
+			if id == w.fGate && pin == w.fPin {
+				in.F = w.fSA
+			}
+			if in.G == ctrl {
+				gAcc = ctrl
+			} else if in.G == sim.VX {
+				gSawX = true
+			}
+			if in.F == ctrl {
+				fAcc = ctrl
+			} else if in.F == sim.VX {
+				fSawX = true
+			}
+		}
+		if gAcc != ctrl && gSawX {
+			gAcc = sim.VX
+		}
+		if fAcc != ctrl && fSawX {
+			fAcc = sim.VX
+		}
+		if g.Type == netlist.Nand || g.Type == netlist.Nor {
+			gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
+		}
+		v = V5{gAcc, fAcc}
+	case netlist.Xor, netlist.Xnor:
+		gAcc, fAcc := sim.V0, sim.V0
+		for pin, f := range g.Fanin {
+			in := vals[f]
+			if id == w.fGate && pin == w.fPin {
+				in.F = w.fSA
+			}
+			gAcc = sim.XorV(gAcc, in.G)
+			fAcc = sim.XorV(fAcc, in.F)
+		}
+		if g.Type == netlist.Xnor {
+			gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
+		}
+		v = V5{gAcc, fAcc}
+	}
+	// Stem fault injection.
+	if id == w.fGate && w.fPin < 0 {
+		v.F = w.fSA
 	}
 	return v
 }
 
-// simulate recomputes the window from the current pseudo-input
-// assignments and returns the number of frames evaluated (the effort
-// charge). While the fault is not yet excitable at frame 0 (the fault
-// line's good value is X or equals the stuck value), no fault effect
-// can exist anywhere and none of the later frames are consulted by the
-// search, so only frame 0 is evaluated — a large saving during the
-// excitation phase of deep windows.
-func (w *window) simulate() int {
-	w.evalFrame(0)
-	if w.flt != nil {
-		lg := w.faultLineGoodRaw()
-		if lg == sim.VX || lg == w.flt.SA {
-			w.lineGood = lg
-			w.poDetected = false
-			w.frontier = w.frontier[:0]
-			w.dLast = false
-			return 1
-		}
-	}
-	for t := 1; t < w.k; t++ {
-		w.evalFrame(t)
-	}
-	w.refresh()
-	return w.k
-}
-
-// evalFrame evaluates one frame; the inner loop is allocation-free —
-// both rails are folded directly over the fanins.
-func (w *window) evalFrame(frame int) {
-	faultGate, faultPin := -1, -1
-	var faultSA sim.Val
-	if w.flt != nil {
-		faultGate, faultPin, faultSA = w.flt.Gate, w.flt.Pin, w.flt.SA
-	}
-	for t := frame; t <= frame; t++ {
-		vals := w.vals[t]
-		for _, id := range w.order {
-			g := &w.c.Gates[id]
-			var v V5
-			switch g.Type {
-			case netlist.Input:
-				v = vBoth(w.piVals[t][w.piIdx[id]])
-			case netlist.DFF:
-				if t == 0 {
-					v = vBoth(w.stateVals[w.dffIdx[id]])
-				} else {
-					v = w.vals[t-1][g.Fanin[0]]
-					if id == faultGate && faultPin == 0 {
-						v.F = faultSA
-					}
-				}
-			case netlist.Const0:
-				v = vBoth(sim.V0)
-			case netlist.Const1:
-				v = vBoth(sim.V1)
-			case netlist.Buf, netlist.Output:
-				v = vals[g.Fanin[0]]
-				if id == faultGate && faultPin == 0 {
-					v.F = faultSA
-				}
-			case netlist.Not:
-				v = vals[g.Fanin[0]]
-				if id == faultGate && faultPin == 0 {
-					v.F = faultSA
-				}
-				v = V5{sim.NotV(v.G), sim.NotV(v.F)}
-			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
-				// Fold both rails. ctrl is the controlling value.
-				ctrl := sim.V0
-				if g.Type == netlist.Or || g.Type == netlist.Nor {
-					ctrl = sim.V1
-				}
-				gAcc, fAcc := sim.NotV(ctrl), sim.NotV(ctrl)
-				gSawX, fSawX := false, false
-				for pin, f := range g.Fanin {
-					in := vals[f]
-					if id == faultGate && pin == faultPin {
-						in.F = faultSA
-					}
-					if in.G == ctrl {
-						gAcc = ctrl
-					} else if in.G == sim.VX {
-						gSawX = true
-					}
-					if in.F == ctrl {
-						fAcc = ctrl
-					} else if in.F == sim.VX {
-						fSawX = true
-					}
-				}
-				if gAcc != ctrl && gSawX {
-					gAcc = sim.VX
-				}
-				if fAcc != ctrl && fSawX {
-					fAcc = sim.VX
-				}
-				if g.Type == netlist.Nand || g.Type == netlist.Nor {
-					gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
-				}
-				v = V5{gAcc, fAcc}
-			case netlist.Xor, netlist.Xnor:
-				gAcc, fAcc := sim.V0, sim.V0
-				for pin, f := range g.Fanin {
-					in := vals[f]
-					if id == faultGate && pin == faultPin {
-						in.F = faultSA
-					}
-					gAcc = sim.XorV(gAcc, in.G)
-					fAcc = sim.XorV(fAcc, in.F)
-				}
-				if g.Type == netlist.Xnor {
-					gAcc, fAcc = sim.NotV(gAcc), sim.NotV(fAcc)
-				}
-				v = V5{gAcc, fAcc}
-			}
-			// Stem fault injection.
-			if id == faultGate && faultPin < 0 {
-				v.F = faultSA
-			}
-			vals[id] = v
-		}
-	}
-}
-
-// refresh recomputes the post-simulation snapshot.
-func (w *window) refresh() {
-	w.poDetected = false
-	w.frontier = w.frontier[:0]
-	w.dLast = false
+// updateSnapshotAt refreshes the snapshot contributions of gate id at
+// frame t: PO detection, D-frontier membership, and — when id drives a
+// last-frame DFF D line — the escaping-effect flags. It is called for
+// every evaluated gate whether or not its own value changed, because
+// frontier membership also depends on the fanin values that triggered
+// the evaluation.
+func (w *window) updateSnapshotAt(t, id int, g *netlist.Gate) {
 	if w.flt == nil {
 		return
 	}
+	nG := len(w.c.Gates)
+	key := t*nG + id
+	switch g.Type {
+	case netlist.Input, netlist.DFF, netlist.Const0, netlist.Const1:
+		// Sources carry no frontier or PO state of their own.
+	default:
+		if g.Type == netlist.Output {
+			d := w.vals[t][id].isD()
+			if d != w.poD[key] {
+				w.poD[key] = d
+				if d {
+					w.poDCount++
+				} else {
+					w.poDCount--
+				}
+			}
+		}
+		member := false
+		if !w.vals[t][id].known() {
+			for pin := range g.Fanin {
+				if w.faninVal(t, id, pin).isD() {
+					member = true
+					break
+				}
+			}
+		}
+		w.setFrontier(t, id, member)
+	}
+	if t == w.k-1 {
+		for _, bit := range w.dffBits[id] {
+			d := w.faninValAt(t, w.c.DFFs[bit], 0).isD()
+			if d != w.dLastD[bit] {
+				w.dLastD[bit] = d
+				if d {
+					w.dLastCount++
+				} else {
+					w.dLastCount--
+				}
+			}
+		}
+	}
+}
+
+// setFrontier flips gate id's frame-t frontier membership, keeping the
+// frontier slice sorted by (frame, topological position) — exactly the
+// order a full rescan produces, which objective selection tie-breaks on.
+func (w *window) setFrontier(t, id int, member bool) {
+	nG := len(w.c.Gates)
+	key := t*nG + id
+	if w.inFrontier[key] == member {
+		return
+	}
+	w.inFrontier[key] = member
+	sortKey := t*nG + w.pos[id]
+	i := sort.Search(len(w.frontier), func(i int) bool {
+		e := w.frontier[i]
+		return e.t*nG+w.pos[e.id] >= sortKey
+	})
+	if member {
+		w.frontier = append(w.frontier, frontierEntry{})
+		copy(w.frontier[i+1:], w.frontier[i:])
+		w.frontier[i] = frontierEntry{t, id}
+	} else {
+		w.frontier = append(w.frontier[:i], w.frontier[i+1:]...)
+	}
+}
+
+// refresh rebuilds the post-simulation snapshot from scratch.
+func (w *window) refresh() {
+	for i := range w.poD {
+		w.poD[i] = false
+	}
+	for i := range w.inFrontier {
+		w.inFrontier[i] = false
+	}
+	for i := range w.dLastD {
+		w.dLastD[i] = false
+	}
+	w.frontier = w.frontier[:0]
+	w.poDCount, w.dLastCount = 0, 0
+	if w.flt == nil {
+		return
+	}
+	nG := len(w.c.Gates)
 	w.lineGood = w.faultLineGoodRaw()
 	for t := 0; t < w.k; t++ {
 		for _, id := range w.c.POs {
 			if w.vals[t][id].isD() {
-				w.poDetected = true
+				w.poD[t*nG+id] = true
+				w.poDCount++
 			}
 		}
 		for _, id := range w.order {
@@ -228,18 +579,66 @@ func (w *window) refresh() {
 			for pin := range g.Fanin {
 				if w.faninVal(t, id, pin).isD() {
 					w.frontier = append(w.frontier, frontierEntry{t, id})
+					w.inFrontier[t*nG+id] = true
 					break
 				}
 			}
 		}
 	}
 	t := w.k - 1
-	for _, id := range w.c.DFFs {
+	for i, id := range w.c.DFFs {
 		if w.faninValAt(t, id, 0).isD() {
-			w.dLast = true
-			break
+			w.dLastD[i] = true
+			w.dLastCount++
 		}
 	}
+}
+
+// heapPush/heapPop maintain pq as a min-heap on topological position.
+func (w *window) heapPush(id int) {
+	w.pq = append(w.pq, id)
+	i := len(w.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if w.pos[w.pq[p]] <= w.pos[w.pq[i]] {
+			break
+		}
+		w.pq[p], w.pq[i] = w.pq[i], w.pq[p]
+		i = p
+	}
+}
+
+func (w *window) heapPop() int {
+	top := w.pq[0]
+	last := len(w.pq) - 1
+	w.pq[0] = w.pq[last]
+	w.pq = w.pq[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < last && w.pos[w.pq[l]] < w.pos[w.pq[s]] {
+			s = l
+		}
+		if r < last && w.pos[w.pq[r]] < w.pos[w.pq[s]] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		w.pq[i], w.pq[s] = w.pq[s], w.pq[i]
+		i = s
+	}
+	return top
+}
+
+// faninVal returns the composite value gate id sees on fanin pin at
+// frame t, with branch-fault injection applied.
+func (w *window) faninVal(t, id, pin int) V5 {
+	v := w.vals[t][w.c.Gates[id].Fanin[pin]]
+	if w.flt != nil && w.flt.Pin == pin && w.flt.Gate == id {
+		v.F = w.flt.SA
+	}
+	return v
 }
 
 // faninValAt is faninVal for a specific frame (used for the DFF D line
@@ -254,7 +653,7 @@ func (w *window) faninValAt(t, id, pin int) V5 {
 
 // detectedAtPO reports whether any primary output in any frame exposes
 // the fault (snapshot from the last simulation).
-func (w *window) detectedAtPO() bool { return w.poDetected }
+func (w *window) detectedAtPO() bool { return w.poDCount > 0 }
 
 // dFrontier returns the (frame, gate) pairs whose output is not fully
 // known but which see a developed fault effect on at least one fanin
@@ -264,7 +663,7 @@ func (w *window) dFrontier() []frontierEntry { return w.frontier }
 // dReachesLastState reports whether a developed fault effect sits on a
 // DFF D line of the last frame — the effect would escape the window
 // into a later time frame (snapshot from the last simulation).
-func (w *window) dReachesLastState() bool { return w.dLast }
+func (w *window) dReachesLastState() bool { return w.dLastCount > 0 }
 
 // faultLineGood returns the good value of the faulted line at frame 0
 // (snapshot from the last simulation).
@@ -291,9 +690,13 @@ func (w *window) excitationObjective() (gate int, val sim.Val) {
 	return w.c.Gates[w.flt.Gate].Fanin[w.flt.Pin], want
 }
 
-// stateCube returns a copy of the frame-0 state assignment.
-func (w *window) stateCube() []sim.Val {
-	return append([]sim.Val(nil), w.stateVals...)
+// stateView returns the frame-0 state assignment as a read-only view of
+// the live buffer — no allocation. The callers (justification probes)
+// only read it while the window is suspended inside an onSolution
+// callback, during which nothing mutates stateVals; copy it before any
+// retention past that point.
+func (w *window) stateView() []sim.Val {
+	return w.stateVals
 }
 
 // vectors materializes the per-frame input vectors, filling unassigned

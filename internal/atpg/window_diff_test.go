@@ -1,0 +1,258 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// randWinCircuit generates a random sequential circuit for the window
+// differential tests: a few primary inputs, DFFs rewired onto the
+// combinational cloud for real feedback, a cloud of random bounded-fanin
+// gates, and a few primary outputs.
+func randWinCircuit(t *testing.T, rng *rand.Rand, trial int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New(fmt.Sprintf("wrnd%d", trial))
+	var pool []int
+	nPI := 2 + rng.Intn(3)
+	for i := 0; i < nPI; i++ {
+		pool = append(pool, c.AddGate(netlist.Input, fmt.Sprintf("i%d", i)))
+	}
+	var dffs []int
+	nDFF := 1 + rng.Intn(4)
+	for i := 0; i < nDFF; i++ {
+		dffs = append(dffs, c.AddGate(netlist.DFF, fmt.Sprintf("q%d", i), pool[rng.Intn(len(pool))]))
+	}
+	pool = append(pool, dffs...)
+	kinds := []netlist.GateType{
+		netlist.And, netlist.Or, netlist.Nand, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf,
+	}
+	nGates := 15 + rng.Intn(30)
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var width int
+		switch k {
+		case netlist.Not, netlist.Buf:
+			width = 1
+		case netlist.Xor, netlist.Xnor:
+			width = 2
+		default:
+			width = 2 + rng.Intn(netlist.MaxFanin-1)
+		}
+		fanin := make([]int, width)
+		for j := range fanin {
+			fanin[j] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, c.AddGate(k, fmt.Sprintf("g%d", i), fanin...))
+	}
+	for _, d := range dffs {
+		c.Gates[d].Fanin[0] = pool[len(pool)-1-rng.Intn(10)]
+	}
+	nPO := 1 + rng.Intn(3)
+	for i := 0; i < nPO; i++ {
+		c.AddGate(netlist.Output, fmt.Sprintf("o%d", i), pool[len(pool)-1-rng.Intn(len(pool)/2)])
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkWindowsEqual compares every observable of two windows that the
+// search reads: the full composite value array, the D-frontier (contents
+// AND order — objective selection tie-breaks on first encounter), PO
+// detection, the escaping last-frame effects, and the fault-line good
+// value.
+func checkWindowsEqual(t *testing.T, label string, got, want *window) {
+	t.Helper()
+	if !reflect.DeepEqual(got.vals, want.vals) {
+		t.Fatalf("%s: window values diverge from full sweep", label)
+	}
+	gf, wf := got.dFrontier(), want.dFrontier()
+	if len(gf) != len(wf) {
+		t.Fatalf("%s: frontier size %d, full sweep has %d", label, len(gf), len(wf))
+	}
+	for i := range gf {
+		if gf[i] != wf[i] {
+			t.Fatalf("%s: frontier[%d] = %v, full sweep has %v", label, i, gf[i], wf[i])
+		}
+	}
+	if got.detectedAtPO() != want.detectedAtPO() {
+		t.Fatalf("%s: poDetected %v, full sweep %v", label, got.detectedAtPO(), want.detectedAtPO())
+	}
+	if !reflect.DeepEqual(got.poD, want.poD) {
+		t.Fatalf("%s: per-PO detection flags diverge", label)
+	}
+	if got.dReachesLastState() != want.dReachesLastState() {
+		t.Fatalf("%s: dLast %v, full sweep %v", label, got.dReachesLastState(), want.dReachesLastState())
+	}
+	if !reflect.DeepEqual(got.dLastD, want.dLastD) {
+		t.Fatalf("%s: per-bit last-frame effect flags diverge", label)
+	}
+	if got.flt != nil && got.faultLineGood() != want.faultLineGood() {
+		t.Fatalf("%s: faultLineGood %v, full sweep %v", label, got.faultLineGood(), want.faultLineGood())
+	}
+}
+
+// traceOp is one PODEM-style probe: assign or retract one pseudo-input.
+type traceOp struct {
+	state bool // state bit vs primary input
+	t, i  int
+	v     sim.Val
+}
+
+// randTrace builds a random assignment/retraction trace. Retractions
+// (assignments back to VX, mirroring PODEM backtracking) are generated
+// by replaying an earlier op with VX.
+func randTrace(rng *rand.Rand, k, nPI, nDFF, steps int) []traceOp {
+	var ops []traceOp
+	vals := []sim.Val{sim.V0, sim.V1, sim.VX}
+	for len(ops) < steps {
+		if len(ops) > 0 && rng.Intn(4) == 0 {
+			// Retract a random earlier assignment.
+			prev := ops[rng.Intn(len(ops))]
+			prev.v = sim.VX
+			ops = append(ops, prev)
+			continue
+		}
+		op := traceOp{v: vals[rng.Intn(len(vals))]}
+		if nDFF > 0 && rng.Intn(3) == 0 {
+			op.state = true
+			op.i = rng.Intn(nDFF)
+		} else {
+			op.t = rng.Intn(k)
+			op.i = rng.Intn(nPI)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func (op traceOp) apply(w *window) {
+	if op.state {
+		w.setState(op.i, op.v)
+	} else {
+		w.setPI(op.t, op.i, op.v)
+	}
+}
+
+// TestWindowDifferential drives randomized circuits through random
+// PODEM-style assignment/retraction traces and pins the incremental
+// window against a from-scratch full sweep after every single probe:
+// values, D-frontier (including order), PO detection, escaping effects,
+// and fault-line good value must all be identical, for the faulted and
+// the fault-free (justification-mode) window, across every fallback
+// mode. The oblivious verification mode must additionally charge
+// exactly the same effort as plain incremental mode.
+func TestWindowDifferential(t *testing.T) {
+	trials := 6
+	steps := 60
+	if testing.Short() {
+		trials, steps = 2, 25
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < trials; trial++ {
+		c := randWinCircuit(t, rng, trial)
+		order, err := c.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Intn(4)
+		universe := fault.FullUniverse(c)
+		flts := []*fault.Fault{nil}
+		for len(flts) < 4 {
+			f := universe[rng.Intn(len(universe))]
+			flts = append(flts, &f)
+		}
+		for fi, flt := range flts {
+			trace := randTrace(rng, k, len(c.PIs), len(c.DFFs), steps)
+			for _, fb := range []int{0, -1, 2} {
+				inc := newWindow(c, order, k, flt)
+				inc.fallbackEvals = fb
+				obl := newWindow(c, order, k, flt)
+				obl.fallbackEvals = fb
+				obl.oblivious = true
+				ref := newWindow(c, order, k, flt)
+
+				// Fresh windows must charge exactly one full sweep.
+				if got := inc.simulate(); got != k*len(order) {
+					t.Fatalf("fresh window charged %d, want %d", got, k*len(order))
+				}
+				obl.simulate()
+				ref.simulate()
+				checkWindowsEqual(t, "fresh", inc, ref)
+
+				total := 0
+				for si, op := range trace {
+					op.apply(inc)
+					op.apply(obl)
+					op.apply(ref)
+					incEvals := inc.simulate()
+					oblEvals := obl.simulate()
+					ref.invalidate()
+					ref.simulate()
+
+					label := fmt.Sprintf("trial %d fault %d fb %d step %d", trial, fi, fb, si)
+					checkWindowsEqual(t, label, inc, ref)
+					checkWindowsEqual(t, label+" (oblivious)", obl, ref)
+					if incEvals != oblEvals {
+						t.Fatalf("%s: oblivious mode charged %d, incremental %d", label, oblEvals, incEvals)
+					}
+					if fb < 0 && incEvals > k*len(order) {
+						t.Fatalf("%s: pure event-driven charged %d > one full sweep %d", label, incEvals, k*len(order))
+					}
+					if incEvals > 2*k*len(order) {
+						t.Fatalf("%s: charged %d > fallback bound %d", label, incEvals, 2*k*len(order))
+					}
+					total += incEvals
+				}
+				// A quiesced window costs nothing to re-simulate.
+				if got := inc.simulate(); got != 0 {
+					t.Fatalf("quiesced window charged %d, want 0", got)
+				}
+				if total <= 0 {
+					t.Fatalf("trace charged no effort at all")
+				}
+			}
+		}
+	}
+}
+
+// TestWindowRetractionSymmetry pins that retracting an assignment
+// restores the exact pre-assignment window state (values and snapshot),
+// the property PODEM's backtracking relies on.
+func TestWindowRetractionSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randWinCircuit(t, rng, 900)
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := fault.FullUniverse(c)
+	f := universe[len(universe)/2]
+	k := 3
+
+	w := newWindow(c, order, k, &f)
+	ref := newWindow(c, order, k, &f)
+	w.simulate()
+	ref.simulate()
+
+	for step := 0; step < 30; step++ {
+		op := randTrace(rng, k, len(c.PIs), len(c.DFFs), 1)[0]
+		if op.v == sim.VX {
+			continue
+		}
+		op.apply(w)
+		w.simulate()
+		op.v = sim.VX
+		op.apply(w)
+		w.simulate()
+		checkWindowsEqual(t, fmt.Sprintf("step %d", step), w, ref)
+	}
+}

@@ -98,20 +98,54 @@ func TestWindowBranchInjection(t *testing.T) {
 	}
 }
 
-func TestWindowLazyExcitationPhase(t *testing.T) {
+func TestWindowIncrementalCharge(t *testing.T) {
 	c := chain(t)
 	order, _ := c.TopoOrder()
 	f := &fault.Fault{Gate: 3, Pin: -1, SA: sim.V0}
 	w := newWindow(c, order, 4, f)
-	// Nothing assigned: fault line good is X -> only frame 0 evaluated.
-	if frames := w.simulate(); frames != 1 {
-		t.Errorf("unexcited window simulated %d frames, want 1", frames)
+	w.fallbackEvals = -1 // pure event-driven, no sweep fallback
+	// A fresh window costs one full sweep: k x gates.
+	if evals := w.simulate(); evals != 4*len(order) {
+		t.Errorf("fresh window charged %d evals, want %d", evals, 4*len(order))
 	}
-	// Excite: now all frames must be evaluated.
+	// No changes: nothing to re-evaluate.
+	if evals := w.simulate(); evals != 0 {
+		t.Errorf("no-op simulate charged %d evals, want 0", evals)
+	}
+	// One frame-0 PI change re-evaluates only its fanout cone, which is
+	// strictly smaller than a full sweep — and at least the seed gate.
+	w.setPI(0, 1, sim.V1)
+	evals := w.simulate()
+	if evals == 0 || evals >= 4*len(order) {
+		t.Errorf("single-PI change charged %d evals, want within (0, %d)", evals, 4*len(order))
+	}
+	// Retracting it costs the same cone again.
+	w.setPI(0, 1, sim.VX)
+	if back := w.simulate(); back != evals {
+		t.Errorf("retraction charged %d evals, assignment charged %d", back, evals)
+	}
+	// Assigning the same value twice is free.
+	w.setPI(0, 1, sim.VX)
+	if evals := w.simulate(); evals != 0 {
+		t.Errorf("redundant assignment charged %d evals, want 0", evals)
+	}
+}
+
+func TestWindowInvalidateForcesFullSweep(t *testing.T) {
+	c := chain(t)
+	order, _ := c.TopoOrder()
+	f := &fault.Fault{Gate: 3, Pin: -1, SA: sim.V0}
+	w := newWindow(c, order, 2, f)
+	w.simulate()
+	// Bulk-write inputs behind the event system's back, then invalidate.
 	w.piVals[0][0] = sim.V0
 	w.piVals[0][1] = sim.V1
-	if frames := w.simulate(); frames != 4 {
-		t.Errorf("excited window simulated %d frames, want 4", frames)
+	w.invalidate()
+	if evals := w.simulate(); evals != 2*len(order) {
+		t.Errorf("invalidated window charged %d evals, want %d", evals, 2*len(order))
+	}
+	if got := w.faultLineGood(); got != sim.V1 {
+		t.Errorf("fault line good value = %v, want 1 after invalidate+simulate", got)
 	}
 }
 
@@ -131,7 +165,7 @@ func TestDFrontierTracksBlockedEffect(t *testing.T) {
 	order, _ := c.TopoOrder()
 	f := &fault.Fault{Gate: b, Pin: -1, SA: sim.V0}
 	w := newWindow(c, order, 1, f)
-	w.piVals[0][1] = sim.V1 // excite: buf good 1, faulty 0
+	w.setPI(0, 1, sim.V1) // excite: buf good 1, faulty 0
 	w.simulate()
 	if len(w.dFrontier()) != 1 {
 		t.Fatalf("frontier = %v, want the blocked AND", w.dFrontier())
@@ -140,13 +174,13 @@ func TestDFrontierTracksBlockedEffect(t *testing.T) {
 		t.Fatal("effect must be blocked while in2 is X")
 	}
 	// Open the gate.
-	w.piVals[0][2] = sim.V1
+	w.setPI(0, 2, sim.V1)
 	w.simulate()
 	if !w.detectedAtPO() {
 		t.Error("effect should propagate once in2=1")
 	}
 	// Close the gate: effect killed, frontier empty.
-	w.piVals[0][2] = sim.V0
+	w.setPI(0, 2, sim.V0)
 	w.simulate()
 	if w.detectedAtPO() || len(w.dFrontier()) != 0 {
 		t.Error("in2=0 must kill the effect")

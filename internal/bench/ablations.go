@@ -61,11 +61,13 @@ func (s *Suite) AblationDC() (string, error) {
 	return buf.String(), nil
 }
 
-// AblationLearning isolates the SEST learning feature: the same
-// deterministic core with and without search-state learning on one
-// original/retimed pair. The paper's Section 5 observation is that
-// learning buys an order of magnitude on some circuits but cannot
-// remove the density-of-encoding penalty.
+// AblationLearning isolates the SEST learning ladder: the same
+// deterministic core with no learning, per-fault learning, and the
+// cross-fault shared justification cache, on one original/retimed
+// pair. The paper's Section 5 observation is that learning buys an
+// order of magnitude on some circuits but cannot remove the
+// density-of-encoding penalty — sharing the cache across faults
+// amortizes the re-proving, not the density.
 func (s *Suite) AblationLearning() (string, error) {
 	specByName := map[string]PairSpec{}
 	for _, spec := range PairSpecs() {
@@ -84,8 +86,10 @@ func (s *Suite) AblationLearning() (string, error) {
 	}{
 		{p.Orig.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Orig.Circuit, 1) }},
 		{p.Orig.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Orig.Circuit, 1) }},
+		{p.Orig.Circuit.Name + "\tsest-shared (shared cache)", func() (*RunRecord, error) { return s.Run("sest-shared", p.Orig.Circuit, 1) }},
 		{p.Re.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles) }},
 		{p.Re.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Re.Circuit, p.Re.FlushCycles) }},
+		{p.Re.Circuit.Name + "\tsest-shared (shared cache)", func() (*RunRecord, error) { return s.Run("sest-shared", p.Re.Circuit, p.Re.FlushCycles) }},
 	}
 	for _, row := range rows {
 		rec, err := row.f()

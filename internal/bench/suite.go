@@ -276,6 +276,8 @@ func (s *Suite) engineConfig(engine string, c *netlist.Circuit, flush int) (atpg
 		cfg = attest.DefaultConfig(flush, perFault)
 	case "sest":
 		cfg = sest.DefaultConfig(flush, perFault)
+	case "sest-shared":
+		cfg = sest.SharedConfig(flush, perFault)
 	default:
 		return cfg, fmt.Errorf("bench: unknown engine %q", engine)
 	}

@@ -38,7 +38,13 @@ func Fingerprint(c *netlist.Circuit, cfg Config, faults []fault.Fault) string {
 		// fold the error in so a failure still perturbs the digest.
 		fmt.Fprintf(h, "write-error: %v\n", err)
 	}
-	fmt.Fprintf(h, "engine: %+v\n", cfg.Engine)
+	// ObliviousSim is a verification mode with byte-identical results
+	// and effort accounting, so — like the machine-local FsimWorkers
+	// knob, which is not a Config field at all — it must not invalidate
+	// checkpoints; everything else about the engine config binds.
+	eng := cfg.Engine
+	eng.ObliviousSim = false
+	fmt.Fprintf(h, "engine: %+v\n", eng)
 	fmt.Fprintf(h, "retries: %d\n", cfg.Retries)
 	for _, f := range faults {
 		fmt.Fprintf(h, "fault: %d %d %d\n", f.Gate, f.Pin, f.SA)
@@ -72,16 +78,17 @@ type ckptCrash struct {
 }
 
 type ckptSnap struct {
-	Next        int            `json:"next"`
-	RandomDone  bool           `json:"random_done"`
-	Status      string         `json:"status"` // one digit per pass fault
-	Tests       [][]string     `json:"tests"`
-	Stats       ckptStats      `json:"stats"`
-	TotalLeft   int64          `json:"total_left"`
-	OutOfBudget bool           `json:"out_of_budget"`
-	FailedCubes []string       `json:"failed_cubes,omitempty"`
-	Achieved    []ckptAchieved `json:"achieved,omitempty"`
-	Crashes     []ckptCrash    `json:"crashes,omitempty"`
+	Next         int            `json:"next"`
+	RandomDone   bool           `json:"random_done"`
+	Status       string         `json:"status"` // one digit per pass fault
+	Tests        [][]string     `json:"tests"`
+	Stats        ckptStats      `json:"stats"`
+	TotalLeft    int64          `json:"total_left"`
+	OutOfBudget  bool           `json:"out_of_budget"`
+	FailedCubes  []string       `json:"failed_cubes,omitempty"`
+	SharedFailed []string       `json:"shared_failed,omitempty"`
+	Achieved     []ckptAchieved `json:"achieved,omitempty"`
+	Crashes      []ckptCrash    `json:"crashes,omitempty"`
 }
 
 type ckptStats struct {
@@ -236,14 +243,15 @@ func encodeSnap(snap *atpg.Snapshot) *ckptSnap {
 		status[i] = '0' + st
 	}
 	cs := &ckptSnap{
-		Next:        snap.Next,
-		RandomDone:  snap.RandomDone,
-		Status:      string(status),
-		Tests:       encodeTests(snap.Tests),
-		TotalLeft:   snap.TotalLeft,
-		OutOfBudget: snap.OutOfBudget,
-		FailedCubes: snap.FailedCubes,
-		Crashes:     encodeCrashes(snap.Crashes),
+		Next:         snap.Next,
+		RandomDone:   snap.RandomDone,
+		Status:       string(status),
+		Tests:        encodeTests(snap.Tests),
+		TotalLeft:    snap.TotalLeft,
+		OutOfBudget:  snap.OutOfBudget,
+		FailedCubes:  snap.FailedCubes,
+		SharedFailed: snap.SharedFailed,
+		Crashes:      encodeCrashes(snap.Crashes),
 		Stats: ckptStats{
 			Total:       snap.Stats.Total,
 			Detected:    snap.Stats.Detected,
@@ -286,14 +294,15 @@ func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
 		return nil, err
 	}
 	snap := &atpg.Snapshot{
-		Next:        cs.Next,
-		RandomDone:  cs.RandomDone,
-		Status:      status,
-		Tests:       tests,
-		TotalLeft:   cs.TotalLeft,
-		OutOfBudget: cs.OutOfBudget,
-		FailedCubes: cs.FailedCubes,
-		Crashes:     decodeCrashes(cs.Crashes),
+		Next:         cs.Next,
+		RandomDone:   cs.RandomDone,
+		Status:       status,
+		Tests:        tests,
+		TotalLeft:    cs.TotalLeft,
+		OutOfBudget:  cs.OutOfBudget,
+		FailedCubes:  cs.FailedCubes,
+		SharedFailed: cs.SharedFailed,
+		Crashes:      decodeCrashes(cs.Crashes),
 		Stats: atpg.Stats{
 			Total:           cs.Stats.Total,
 			Detected:        cs.Stats.Detected,

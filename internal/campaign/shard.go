@@ -120,6 +120,10 @@ func normalizeForSharding(cfg Config) Config {
 		cfg.logf("campaign: sharded run disables the random preprocessing phase (%d seqs x %d)", e.RandomSequences, e.RandomLength)
 		e.RandomSequences, e.RandomLength = 0, 0
 	}
+	if e.SharedLearning {
+		cfg.logf("campaign: sharded run disables the shared justification cache (cross-fault state)")
+		e.SharedLearning = false
+	}
 	if e.Learning {
 		cfg.logf("campaign: sharded run disables search-state learning (cross-fault state)")
 		e.Learning = false

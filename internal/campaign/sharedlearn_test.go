@@ -1,0 +1,203 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/fault"
+)
+
+// sharedCfg is engineCfg with the cross-fault justification cache on.
+func sharedCfg() atpg.Config {
+	cfg := engineCfg()
+	cfg.Learning = true
+	cfg.SharedLearning = true
+	cfg.RelaxedJustify = true
+	return cfg
+}
+
+// TestFingerprintIgnoresObliviousSim: oblivious verification mode has
+// byte-identical results and effort accounting, so toggling it must not
+// invalidate checkpoints — while the cache knobs, which change the
+// search trajectory, must.
+func TestFingerprintIgnoresObliviousSim(t *testing.T) {
+	c := synthC(t, 7, 5)
+	faults := fault.CollapsedUniverse(c)[:20]
+	base := Config{Engine: engineCfg()}
+
+	obl := base
+	obl.Engine.ObliviousSim = true
+	if Fingerprint(c, base, faults) != Fingerprint(c, obl, faults) {
+		t.Error("ObliviousSim changed the checkpoint fingerprint")
+	}
+
+	shared := base
+	shared.Engine.Learning = true
+	shared.Engine.SharedLearning = true
+	if Fingerprint(c, base, faults) == Fingerprint(c, shared, faults) {
+		t.Error("SharedLearning did not change the checkpoint fingerprint")
+	}
+
+	capped := shared
+	capped.Engine.LearnCap = 16
+	if Fingerprint(c, shared, faults) == Fingerprint(c, capped, faults) {
+		t.Error("LearnCap did not change the checkpoint fingerprint")
+	}
+}
+
+// TestRunShardedNormalizesSharedLearning: the shared justification
+// cache is cross-fault state, so sharded mode must disable it (logging
+// the change) and stay shard-count-invariant when a caller asks for it.
+func TestRunShardedNormalizesSharedLearning(t *testing.T) {
+	c := synthC(t, 7, 5)
+	faults := fault.CollapsedUniverse(c)
+	if len(faults) > 40 {
+		faults = faults[:40]
+	}
+
+	var logs []string
+	cfg := Config{Engine: sharedCfg(), Log: func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}}
+
+	var ref *Result
+	for _, shards := range []int{1, 2, 3} {
+		res, err := RunSharded(context.Background(), c, faults, cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards == 1 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Outcomes, ref.Outcomes) {
+			t.Errorf("shards=%d: outcomes diverge from shards=1", shards)
+		}
+	}
+
+	found := false
+	for _, line := range logs {
+		if strings.Contains(line, "shared justification cache") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("sharded run did not log that it disabled the shared cache")
+	}
+}
+
+// TestCheckpointRoundTripSharedFailed: the cross-fault failed-cube
+// store survives a save/load cycle verbatim, alongside the other
+// snapshot learning stores.
+func TestCheckpointRoundTripSharedFailed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.ckpt")
+	snap := &atpg.Snapshot{
+		Next:         1,
+		RandomDone:   true,
+		Status:       []byte{1, 0},
+		FailedCubes:  []string{"g3:01X", "g3:0X1"},
+		SharedFailed: []string{"01X", "1XX"},
+		Stats:        atpg.Stats{Total: 2, Detected: 1, StatesTraversed: map[uint64]bool{3: true}},
+	}
+	st := &state{
+		pass:       0,
+		passFaults: []int{0, 1},
+		outcomes:   []atpg.Outcome{atpg.Detected, atpg.Aborted},
+		done:       []bool{true, false},
+		states:     map[uint64]bool{3: true},
+		snap:       snap,
+	}
+	if err := saveState(path, "fp", st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadState(path, "fp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.snap == nil {
+		t.Fatal("loaded checkpoint lost the engine snapshot")
+	}
+	if !reflect.DeepEqual(got.snap.SharedFailed, snap.SharedFailed) {
+		t.Errorf("SharedFailed round-tripped as %v, want %v", got.snap.SharedFailed, snap.SharedFailed)
+	}
+	if !reflect.DeepEqual(got.snap.FailedCubes, snap.FailedCubes) {
+		t.Errorf("FailedCubes round-tripped as %v, want %v", got.snap.FailedCubes, snap.FailedCubes)
+	}
+}
+
+// TestCampaignResumeExactWithSharedLearning: interrupt/resume exactness
+// must hold with the shared cache enabled — the mid-pass snapshot now
+// carries the cross-fault stores, and a resumed campaign must land on
+// the same stats, outcomes and tests as one that was never stopped.
+func TestCampaignResumeExactWithSharedLearning(t *testing.T) {
+	c := synthC(t, 9, 12)
+	faults := fault.CollapsedUniverse(c)
+	if len(faults) > 50 {
+		faults = faults[:50]
+	}
+	base := Config{Engine: sharedCfg(), Retries: 1}
+	base.Engine.FaultBudget = 40_000
+
+	ref, err := Run(context.Background(), c, faults, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Interrupted {
+		t.Fatal("reference campaign reported interrupted")
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var res *Result
+	rounds := 0
+	for cancelAfter := 3; ; cancelAfter += 3 {
+		if rounds++; rounds > 100 {
+			t.Fatal("campaign made no progress across 100 interrupted rounds")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := base
+		cfg.CheckpointPath = ckpt
+		cfg.CheckpointEvery = time.Nanosecond
+		cfg.Resume = true
+		attempts := 0
+		cfg.Hook = func(i int, f fault.Fault) {
+			if attempts++; attempts >= cancelAfter {
+				cancel()
+			}
+		}
+		res, err = Run(ctx, c, faults, cfg)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Interrupted {
+			continue
+		}
+		break
+	}
+	t.Logf("completed after %d interrupted rounds (hits=%d prunes=%d)",
+		rounds-1, res.Stats.LearnHits, res.Stats.LearnPrunes)
+	if rounds < 2 {
+		t.Fatal("interruption path not exercised")
+	}
+	if !reflect.DeepEqual(res.Stats, ref.Stats) {
+		t.Errorf("resumed stats %+v != reference %+v", res.Stats, ref.Stats)
+	}
+	if !reflect.DeepEqual(res.Outcomes, ref.Outcomes) {
+		t.Error("resumed outcomes diverge from reference")
+	}
+	if !reflect.DeepEqual(res.Tests, ref.Tests) {
+		t.Error("resumed tests diverge from reference")
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("finished campaign left checkpoint behind (stat err %v)", err)
+	}
+}

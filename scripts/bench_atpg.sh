@@ -1,0 +1,41 @@
+#!/bin/sh
+# Runs the ATPG search benchmarks and records the results in
+# BENCH_atpg.json at the repo root: the per-probe window cost (full
+# sweep vs event-driven incremental) and end-to-end generation on the
+# original/retimed pair in incremental, oblivious (the pre-incremental
+# full-sweep baseline) and shared-cache modes.
+#
+#   scripts/bench_atpg.sh               # default -benchtime=5x
+#   BENCHTIME=20x scripts/bench_atpg.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run='^$' -bench='BenchmarkWindow|BenchmarkSearch' \
+	-benchtime="${BENCHTIME:-5x}" ./internal/atpg/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (metrics != "") metrics = metrics ", "
+		metrics = metrics "\"" $(i + 1) "\": " $i
+	}
+	rec[n++] = "    {\"name\": \"" name "\", \"iterations\": " $2 ", " metrics "}"
+}
+END {
+	print "{"
+	print "  \"generated\": \"" date "\","
+	print "  \"go\": \"" gover "\","
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) print rec[i] (i < n - 1 ? "," : "")
+	print "  ]"
+	print "}"
+}' >BENCH_atpg.json
+
+echo "wrote BENCH_atpg.json"
