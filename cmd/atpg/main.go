@@ -176,6 +176,11 @@ func run() int {
 	for _, cr := range res.Crashes {
 		log.Printf("%v", cr.Error())
 	}
+	if res.Degraded {
+		log.Printf("WARNING: %d checkpoint write(s) failed during the run; "+
+			"the verdicts above are unaffected, but an interruption would have lost more progress than -checkpoint-every promises",
+			res.CheckpointFailures)
+	}
 	if *showAborts {
 		for i, o := range res.Outcomes {
 			if o == atpg.Aborted {

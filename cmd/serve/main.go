@@ -54,6 +54,12 @@ func run() int {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 	every := flag.Duration("checkpoint-every", 30*time.Second, "minimum gap between periodic per-job checkpoint writes")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long a shutdown signal may wait for running jobs to checkpoint")
+	queueCap := flag.Int("queue-cap", 256, "pending-job queue bound; submissions past it get HTTP 429 (negative = unbounded)")
+	stuckTimeout := flag.Duration("stuck-timeout", 0, "fail a running job making no campaign progress for this long (0 = off)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full request including body")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response deadline")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "serve: -dir is required")
@@ -68,6 +74,8 @@ func run() int {
 	srv, err := service.New(*dir, service.Options{
 		Workers:         *workers,
 		CheckpointEvery: *every,
+		QueueCap:        *queueCap,
+		StuckTimeout:    *stuckTimeout,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -78,7 +86,18 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The timeouts are the self-protection layer: without them one
+	// client trickling bytes (or never reading its response) pins a
+	// connection's goroutine forever, and enough of them starve the
+	// service.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	listenErr := make(chan error, 1)
 	go func() {
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {

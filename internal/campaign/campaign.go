@@ -12,13 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"seqatpg/internal/atpg"
 	"seqatpg/internal/fault"
+	"seqatpg/internal/ioguard"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/sim"
 )
@@ -66,6 +66,27 @@ type Config struct {
 	// Under RunSharded it is invoked concurrently from all shard
 	// workers.
 	OnCheckpoint func()
+	// OnCheckpointFailure, when set, is called after every failed
+	// checkpoint write with the error. Failed writes do not abort the
+	// campaign — the run is marked degraded and the write is retried
+	// at the next checkpoint interval. Observability only; not
+	// fingerprinted. Under RunSharded it is invoked concurrently from
+	// all shard workers.
+	OnCheckpointFailure func(error)
+	// FS is the filesystem seam all checkpoint I/O (and the Validate
+	// probe) goes through; nil selects the real filesystem
+	// (ioguard.OS). Fault-injection tests substitute an
+	// ioguard.FaultFS. Not fingerprinted: the seam decides whether
+	// persistence succeeds, never what the campaign computes.
+	FS ioguard.FS
+}
+
+// fs resolves Config.FS: nil means the real filesystem.
+func (c Config) fs() ioguard.FS {
+	if c.FS == nil {
+		return ioguard.OS
+	}
+	return c.FS
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -108,16 +129,16 @@ func (c Config) Validate() error {
 		return errors.New("campaign: Resume requires CheckpointPath")
 	}
 	if c.CheckpointPath != "" {
+		fsys := c.fs()
 		dir := filepath.Dir(c.CheckpointPath)
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("campaign: checkpoint directory %s: %w", dir, err)
 		}
-		probe, err := os.CreateTemp(dir, ".ckpt-probe-*")
-		if err != nil {
+		probe := filepath.Join(dir, ".ckpt-probe.tmp")
+		if err := fsys.WriteFile(probe, []byte("probe\n"), 0o644); err != nil {
 			return fmt.Errorf("campaign: checkpoint directory %s is not writable: %w", dir, err)
 		}
-		probe.Close()
-		os.Remove(probe.Name())
+		fsys.Remove(probe)
 	}
 	return nil
 }
@@ -144,6 +165,15 @@ type Result struct {
 	Resumed bool
 	// Passes is the number of engine passes that ran to completion.
 	Passes int
+	// CheckpointFailures counts checkpoint writes that failed during
+	// this process's run (failure counts are per run, not persisted in
+	// the checkpoint itself). Each failure was logged and retried at
+	// the next checkpoint interval; the search results are unaffected.
+	CheckpointFailures int
+	// Degraded reports CheckpointFailures > 0: the campaign finished
+	// (or parked) with full results, but one or more of its durability
+	// writes failed, so the newest on-disk generation may be stale.
+	Degraded bool
 }
 
 // state is the cross-pass campaign state; it is what the checkpoint
@@ -159,6 +189,12 @@ type state struct {
 	crashes    []*atpg.FaultCrash
 	snap       *atpg.Snapshot // mid-pass boundary snapshot, nil at a pass start
 	resumed    bool
+	// ckptFailures counts failed checkpoint writes this run. It is
+	// process-local observability, deliberately not serialized: a
+	// resumed campaign's Stats must stay byte-identical to an
+	// uninterrupted run, and durability trouble in a previous process
+	// is that process's report.
+	ckptFailures int
 }
 
 // passAgg sums the monotone effort counters over completed passes.
@@ -168,6 +204,27 @@ type passAgg struct {
 	LearnHits   int64
 	LearnPrunes int64
 	Unconfirmed int
+}
+
+// writeCheckpoint attempts one checkpoint write. Failure degrades the
+// run instead of aborting it: the failure counter advances, the
+// OnCheckpointFailure callback fires, and the log line is emitted with
+// power-of-two backoff (failures 1, 2, 4, 8, …) so an ENOSPC storm
+// cannot flood the log. The write is retried at the next checkpoint
+// opportunity.
+func (c Config) writeCheckpoint(fp string, st *state) bool {
+	if err := saveState(c.fs(), c.CheckpointPath, fp, st); err != nil {
+		st.ckptFailures++
+		if c.OnCheckpointFailure != nil {
+			c.OnCheckpointFailure(err)
+		}
+		if n := st.ckptFailures; n&(n-1) == 0 {
+			c.logf("campaign: checkpoint write failed (%d failure(s) so far, run degraded, will retry): %v", n, err)
+		}
+		return false
+	}
+	c.checkpointed()
+	return true
 }
 
 func freshState(n int) *state {
@@ -214,13 +271,16 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 
 	var st *state
 	if cfg.Resume {
-		loaded, err := loadState(cfg.CheckpointPath, fp, len(faults))
+		loaded, fellBack, err := loadState(cfg.fs(), cfg.CheckpointPath, fp, len(faults))
 		if err != nil {
 			return nil, err
 		}
 		if loaded != nil {
 			st = loaded
 			st.resumed = true
+			if fellBack {
+				cfg.logf("campaign: current checkpoint generation at %s is unusable; recovered from %s%s", cfg.CheckpointPath, cfg.CheckpointPath, prevSuffix)
+			}
 			cfg.logf("campaign: resumed from %s (pass %d, %d faults pending)", cfg.CheckpointPath, st.pass, len(st.passFaults))
 		} else {
 			cfg.logf("campaign: no checkpoint at %s, starting fresh", cfg.CheckpointPath)
@@ -262,12 +322,11 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 				return
 			}
 			st.snap = snapshot()
-			if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
-				cfg.logf("campaign: checkpoint write failed: %v", err)
-			} else {
+			if cfg.writeCheckpoint(fp, st) {
 				cfg.logf("campaign: checkpoint at pass %d, %d/%d faults", st.pass, done, total)
-				cfg.checkpointed()
 			}
+			// Advance the clock on failure too: retry at the next
+			// interval, not at every fault boundary of a full disk.
 			lastWrite = time.Now()
 		}
 
@@ -313,18 +372,14 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 		st.passFaults = aborted
 		st.pass++
 		if st.pass <= cfg.Retries && len(aborted) > 0 && cfg.CheckpointPath != "" {
-			if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
-				cfg.logf("campaign: checkpoint write failed: %v", err)
-			} else {
-				cfg.checkpointed()
-			}
+			cfg.writeCheckpoint(fp, st)
 			lastWrite = time.Now()
 		}
 	}
 
 	res := assemble(st, false)
 	if cfg.CheckpointPath != "" {
-		if err := os.Remove(cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := removeState(cfg.fs(), cfg.CheckpointPath); err != nil {
 			cfg.logf("campaign: could not remove finished checkpoint: %v", err)
 		}
 	}
@@ -332,14 +387,16 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 }
 
 // finishInterrupted writes the final checkpoint and assembles the
-// partial result.
+// partial result. A failed final write degrades the result instead of
+// erroring: the last durable generation (current or .prev) is still on
+// disk, and resuming from it merely repeats the work since then.
 func finishInterrupted(ctx context.Context, cfg Config, fp string, st *state) (*Result, error) {
 	if cfg.CheckpointPath != "" {
-		if err := saveState(cfg.CheckpointPath, fp, st); err != nil {
-			return nil, fmt.Errorf("campaign: interrupted and checkpoint write failed: %w", err)
+		if cfg.writeCheckpoint(fp, st) {
+			cfg.logf("campaign: interrupted (%v), checkpoint written to %s", context.Cause(ctx), cfg.CheckpointPath)
+		} else {
+			cfg.logf("campaign: interrupted (%v) and the final checkpoint write failed; a resume will use the last durable generation", context.Cause(ctx))
 		}
-		cfg.checkpointed()
-		cfg.logf("campaign: interrupted (%v), checkpoint written to %s", context.Cause(ctx), cfg.CheckpointPath)
 	}
 	return assemble(st, true), nil
 }
@@ -350,12 +407,14 @@ func finishInterrupted(ctx context.Context, cfg Config, fp string, st *state) (*
 // partial progress, so the caller sees how far the campaign got).
 func assemble(st *state, interrupted bool) *Result {
 	res := &Result{
-		Outcomes:    append([]atpg.Outcome(nil), st.outcomes...),
-		Tests:       st.tests,
-		Crashes:     st.crashes,
-		Interrupted: interrupted,
-		Resumed:     st.resumed,
-		Passes:      st.pass,
+		Outcomes:           append([]atpg.Outcome(nil), st.outcomes...),
+		Tests:              st.tests,
+		Crashes:            st.crashes,
+		Interrupted:        interrupted,
+		Resumed:            st.resumed,
+		Passes:             st.pass,
+		CheckpointFailures: st.ckptFailures,
+		Degraded:           st.ckptFailures > 0,
 	}
 	stats := atpg.Stats{Total: len(st.outcomes)}
 	count := func(o atpg.Outcome, delta int) {

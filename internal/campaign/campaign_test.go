@@ -13,11 +13,20 @@ import (
 	"seqatpg/internal/encode"
 	"seqatpg/internal/fault"
 	"seqatpg/internal/fsm"
+	"seqatpg/internal/ioguard"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
 	"seqatpg/internal/sim"
 	"seqatpg/internal/synth"
 )
+
+// nosyncFS skips physical fsyncs in checkpoint-heavy tests. Every
+// property asserted in this package is observable in-process (rename
+// atomicity, generation rotation, corruption fallback, byte-identical
+// resume) and independent of flushing, which only matters across power
+// loss — and real fsyncs at nanosecond checkpoint intervals dominate
+// test runtime, especially under the race detector.
+var nosyncFS = ioguard.NoSync(ioguard.OS)
 
 func synthC(t *testing.T, states int, seed int64) *netlist.Circuit {
 	t.Helper()
@@ -113,6 +122,7 @@ func TestCampaignInterruptResumeExact(t *testing.T) {
 		cfg.CheckpointPath = ckpt
 		cfg.CheckpointEvery = time.Nanosecond
 		cfg.Resume = true
+		cfg.FS = nosyncFS
 		attempts := 0
 		cfg.Hook = func(i int, f fault.Fault) {
 			if attempts++; attempts >= cancelAfter {
@@ -203,6 +213,7 @@ func TestCampaignRejectsForeignCheckpoint(t *testing.T) {
 		Engine:          engineCfg(),
 		CheckpointPath:  ckpt,
 		CheckpointEvery: time.Nanosecond,
+		FS:              nosyncFS,
 		Hook: func(i int, f fault.Fault) {
 			if attempts++; attempts >= 5 {
 				cancel()
@@ -215,18 +226,18 @@ func TestCampaignRejectsForeignCheckpoint(t *testing.T) {
 	}
 
 	// Different engine config.
-	cfg := Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true}
+	cfg := Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true, FS: nosyncFS}
 	cfg.Engine.MaxFrames = 4
 	if _, err := Run(context.Background(), c, faults, cfg); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("mismatched engine config: err = %v, want ErrCheckpointMismatch", err)
 	}
 	// Different fault list.
-	cfg = Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true}
+	cfg = Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true, FS: nosyncFS}
 	if _, err := Run(context.Background(), c, faults[:29], cfg); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("mismatched fault list: err = %v, want ErrCheckpointMismatch", err)
 	}
 	// Matching everything resumes fine.
-	cfg = Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true}
+	cfg = Config{Engine: engineCfg(), CheckpointPath: ckpt, Resume: true, FS: nosyncFS}
 	if _, err := Run(context.Background(), c, faults, cfg); err != nil {
 		t.Errorf("matching resume failed: %v", err)
 	}
@@ -341,12 +352,15 @@ func TestCampaignCheckpointRoundTrip(t *testing.T) {
 		}},
 	}
 
-	if err := saveState(ckpt, "fp", st); err != nil {
+	if err := saveState(ioguard.OS, ckpt, "fp", st); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadState(ckpt, "fp", 5)
+	got, fellBack, err := loadState(ioguard.OS, ckpt, "fp", 5)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fellBack {
+		t.Error("pristine checkpoint loaded via the fallback generation")
 	}
 	if got == nil {
 		t.Fatal("loadState returned nil for an existing checkpoint")
@@ -369,14 +383,14 @@ func TestCampaignCheckpointRoundTrip(t *testing.T) {
 	}
 
 	// Wrong fingerprint and wrong fault count are rejected.
-	if _, err := loadState(ckpt, "other", 5); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, _, err := loadState(ioguard.OS, ckpt, "other", 5); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("foreign fingerprint: err = %v", err)
 	}
-	if _, err := loadState(ckpt, "fp", 6); !errors.Is(err, ErrCheckpointMismatch) {
+	if _, _, err := loadState(ioguard.OS, ckpt, "fp", 6); !errors.Is(err, ErrCheckpointMismatch) {
 		t.Errorf("wrong fault count: err = %v", err)
 	}
 	// A missing file is a clean fresh start.
-	if st, err := loadState(filepath.Join(t.TempDir(), "nope"), "fp", 5); st != nil || err != nil {
+	if st, _, err := loadState(ioguard.OS, filepath.Join(t.TempDir(), "nope"), "fp", 5); st != nil || err != nil {
 		t.Errorf("missing checkpoint: st=%v err=%v", st, err)
 	}
 }

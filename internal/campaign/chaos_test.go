@@ -1,0 +1,351 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"seqatpg/internal/fault"
+	"seqatpg/internal/ioguard"
+	"seqatpg/internal/netlist"
+)
+
+// chaosWorkload is the mid-size campaign the chaos suite runs: a
+// multi-pass retry ladder with a budget tight enough that checkpoints
+// land in retry passes too.
+func chaosWorkload(t *testing.T) (*netlist.Circuit, []fault.Fault, Config) {
+	t.Helper()
+	c := synthC(t, 9, 12)
+	faults := fault.CollapsedUniverse(c)
+	if len(faults) > 24 {
+		faults = faults[:24]
+	}
+	cfg := Config{Engine: engineCfg(), Retries: 1}
+	cfg.Engine.FaultBudget = 30_000
+	// No random preprocessing: every fault is attacked directly, so the
+	// run crosses many attempt boundaries — that is where checkpoints
+	// land, and the sweep wants as many write points as possible.
+	cfg.Engine.RandomSequences = 0
+	cfg.Engine.RandomLength = 0
+	cfg.Engine.Seed = 7
+	return c, faults, cfg
+}
+
+// assertSameResult asserts the chaos invariant: whatever was injected,
+// the final Stats, Outcomes and Tests are byte-identical to the
+// uninterrupted baseline.
+func assertSameResult(t *testing.T, label string, got, ref *Result) {
+	t.Helper()
+	if got.Interrupted {
+		t.Fatalf("%s: final run still interrupted", label)
+	}
+	if !reflect.DeepEqual(got.Stats, ref.Stats) {
+		t.Errorf("%s: stats %+v != baseline %+v", label, got.Stats, ref.Stats)
+	}
+	if !reflect.DeepEqual(got.Outcomes, ref.Outcomes) {
+		t.Errorf("%s: outcomes diverge from baseline", label)
+	}
+	if !reflect.DeepEqual(got.Tests, ref.Tests) {
+		t.Errorf("%s: tests (%d) diverge from baseline (%d)", label, len(got.Tests), len(ref.Tests))
+	}
+}
+
+// runToCount executes the workload once over a transparent FaultFS to
+// enumerate every write point (mutating filesystem operation) of a
+// fully checkpointed run.
+func runToCount(t *testing.T, c *netlist.Circuit, faults []fault.Fault, base Config, ckpt string, ref *Result) int {
+	t.Helper()
+	rec := ioguard.NewFaultFS(nosyncFS)
+	cfg := base
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = time.Nanosecond
+	cfg.FS = rec
+	res, err := Run(context.Background(), c, faults, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "recording run", res, ref)
+	if res.Degraded || res.CheckpointFailures != 0 {
+		t.Fatalf("recording run degraded: %d failures", res.CheckpointFailures)
+	}
+	return rec.MutatingOps()
+}
+
+// TestCampaignChaosKillAtEveryWritePoint is the acceptance scenario:
+// for EVERY write point of a fully checkpointed campaign, kill the
+// process at exactly that filesystem operation (the op and everything
+// after it fail, the context is cancelled), then resume on a healthy
+// filesystem and require results byte-identical to a run that was
+// never stopped. The torn variant additionally leaves a half-written
+// block at the failure point before dying.
+func TestCampaignChaosKillAtEveryWritePoint(t *testing.T) {
+	c, faults, base := chaosWorkload(t)
+	ref, err := Run(context.Background(), c, faults, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Interrupted {
+		t.Fatal("baseline interrupted")
+	}
+	total := runToCount(t, c, faults, base, filepath.Join(t.TempDir(), "rec.ckpt"), ref)
+	if total < 10 {
+		t.Fatalf("only %d write points; chaos sweep proves nothing", total)
+	}
+	t.Logf("sweeping %d write points", total)
+
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	resumed := 0
+	for _, torn := range []bool{false, true} {
+		for n := 0; n < total; n += stride {
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			rule := ioguard.Rule{From: n}
+			label := "kill"
+			if torn {
+				// Tear the next write at or after op n, then die.
+				rule = ioguard.Rule{Kind: "write", From: n, Mode: ioguard.Torn}
+				label = "torn-kill"
+			}
+			ffs := ioguard.NewFaultFS(nosyncFS, rule)
+			ctx, cancel := context.WithCancel(context.Background())
+			ffs.OnTrip(func(op int, r ioguard.Rule) { ffs.Kill(); cancel() })
+			cfg := base
+			cfg.CheckpointPath = ckpt
+			cfg.CheckpointEvery = time.Nanosecond
+			cfg.FS = ffs
+			if res1, err1 := Run(ctx, c, faults, cfg); err1 == nil && !res1.Interrupted {
+				// The injected crash landed after compute finished (final
+				// cleanup, say): completing is correct, with the right
+				// answer — and the restart below must still converge.
+				assertSameResult(t, label+"-completed", res1, ref)
+			}
+			cancel()
+
+			// Restart: same campaign, healthy filesystem.
+			cfg2 := base
+			cfg2.CheckpointPath = ckpt
+			cfg2.Resume = true
+			cfg2.FS = nosyncFS
+			res2, err := Run(context.Background(), c, faults, cfg2)
+			if err != nil {
+				t.Fatalf("%s@%d: resume failed: %v", label, n, err)
+			}
+			if res2.Resumed {
+				resumed++
+			}
+			assertSameResult(t, label, res2, ref)
+			// The finished campaign sweeps every generation and temp file.
+			if m, _ := filepath.Glob(ckpt + "*"); len(m) != 0 {
+				t.Fatalf("%s@%d: leftovers after success: %v", label, n, m)
+			}
+		}
+	}
+	if resumed == 0 {
+		t.Error("no sweep iteration actually resumed from a checkpoint")
+	}
+	t.Logf("%d iterations resumed from a surviving checkpoint", resumed)
+}
+
+// TestCampaignChaosENOSPCStorm: a window of failed checkpoint writes
+// (full disk) must not abort the campaign — it finishes with baseline
+// results, marked degraded, having retried and succeeded once space
+// returns, and still cleans up after itself.
+func TestCampaignChaosENOSPCStorm(t *testing.T) {
+	c, faults, base := chaosWorkload(t)
+	ref, err := Run(context.Background(), c, faults, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "storm.ckpt")
+	ffs := ioguard.NewFaultFS(nosyncFS,
+		ioguard.Rule{Kind: "write", PathContains: "storm.ckpt", Mode: ioguard.ENOSPC, From: 4, Count: 12})
+	cfg := base
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = time.Nanosecond
+	cfg.FS = ffs
+	var okWrites, failWrites int
+	cfg.OnCheckpoint = func() { okWrites++ }
+	cfg.OnCheckpointFailure = func(error) { failWrites++ }
+	res, err := Run(context.Background(), c, faults, cfg)
+	if err != nil {
+		t.Fatalf("ENOSPC storm aborted the campaign: %v", err)
+	}
+	if ffs.Trips() == 0 {
+		t.Fatal("storm never fired; test proves nothing")
+	}
+	if !res.Degraded || res.CheckpointFailures == 0 {
+		t.Errorf("run not marked degraded: degraded=%v failures=%d", res.Degraded, res.CheckpointFailures)
+	}
+	if res.CheckpointFailures != failWrites {
+		t.Errorf("Result counts %d failures, callback saw %d", res.CheckpointFailures, failWrites)
+	}
+	if okWrites == 0 {
+		t.Error("no checkpoint write succeeded after the storm window passed")
+	}
+	assertSameResult(t, "enospc-storm", res, ref)
+	if m, _ := filepath.Glob(ckpt + "*"); len(m) != 0 {
+		t.Errorf("leftovers after degraded success: %v", m)
+	}
+}
+
+// TestCampaignChaosCorruptCurrentGeneration: every corruption of the
+// current checkpoint generation — truncated tail, CRC-detectable bit
+// damage, or the file missing entirely — must fall back to the .prev
+// generation and still finish byte-identical, with no manual
+// intervention.
+func TestCampaignChaosCorruptCurrentGeneration(t *testing.T) {
+	c, faults, base := chaosWorkload(t)
+	ref, err := Run(context.Background(), c, faults, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a checkpointed run late enough that both generations
+	// exist on disk.
+	seedDir := t.TempDir()
+	ckpt := filepath.Join(seedDir, "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	cfg := base
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = time.Nanosecond
+	cfg.FS = nosyncFS
+	// The hook fires per generated test (fault dropping means far fewer
+	// tests than faults), so keep the threshold low.
+	cfg.Hook = func(i int, f fault.Fault) {
+		if attempts++; attempts >= 3 {
+			cancel()
+		}
+	}
+	res, err := Run(ctx, c, faults, cfg)
+	cancel()
+	if err != nil || !res.Interrupted {
+		t.Fatalf("setup: res=%+v err=%v", res, err)
+	}
+	cur, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(ckpt + prevSuffix)
+	if err != nil {
+		t.Fatalf("interrupted run kept no previous generation: %v", err)
+	}
+
+	corruptions := []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, cur[:len(cur)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"crc-mismatch", func(t *testing.T, path string) {
+			// Valid JSON, valid schema, silently altered payload: only
+			// the CRC can catch this.
+			var file ckptFile
+			if err := json.Unmarshal(cur, &file); err != nil {
+				t.Fatal(err)
+			}
+			file.Agg.Effort += 1_000_000
+			data, err := json.MarshalIndent(&file, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "run.ckpt")
+			if err := os.WriteFile(path, cur, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path+prevSuffix, prev, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(t, path)
+			cfg := base
+			cfg.CheckpointPath = path
+			cfg.Resume = true
+			cfg.FS = nosyncFS
+			got, err := Run(context.Background(), c, faults, cfg)
+			if err != nil {
+				t.Fatalf("resume with corrupt current generation failed: %v", err)
+			}
+			if !got.Resumed {
+				t.Error("fallback resume did not report Resumed")
+			}
+			assertSameResult(t, tc.name, got, ref)
+		})
+	}
+
+	// Both generations corrupt is unrecoverable and must error loudly —
+	// never silently restart and burn hours recomputing a long campaign.
+	t.Run("both-corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "run.ckpt")
+		if err := os.WriteFile(path, cur[:len(cur)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path+prevSuffix, prev[:len(prev)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.CheckpointPath = path
+		cfg.Resume = true
+		cfg.FS = nosyncFS
+		if _, err := Run(context.Background(), c, faults, cfg); err == nil {
+			t.Fatal("resume accepted a store with no usable generation")
+		}
+	})
+}
+
+// TestCampaignChaosDegradedInterruption: when the filesystem dies for
+// good mid-run, the interruption path must return the partial result
+// (degraded, with the failure counted) instead of erroring out.
+func TestCampaignChaosDegradedInterruption(t *testing.T) {
+	c, faults, base := chaosWorkload(t)
+	ffs := ioguard.NewFaultFS(nosyncFS)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := base
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "dead.ckpt")
+	cfg.CheckpointEvery = time.Hour // only the final interruption write
+	cfg.FS = ffs
+	attempts := 0
+	cfg.Hook = func(i int, f fault.Fault) {
+		if attempts++; attempts == 3 {
+			ffs.Kill() // disk gone...
+			cancel()   // ...and the run interrupted
+		}
+	}
+	res, err := Run(ctx, c, faults, cfg)
+	if err != nil {
+		t.Fatalf("interruption with a dead filesystem returned error: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("campaign not interrupted")
+	}
+	if !res.Degraded || res.CheckpointFailures == 0 {
+		t.Errorf("dead-disk interruption not degraded: %+v", res)
+	}
+	if errors.Is(ctx.Err(), context.Canceled) == false {
+		t.Error("test wiring: context not cancelled")
+	}
+}

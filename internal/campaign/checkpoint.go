@@ -6,19 +6,26 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"hash/crc32"
+	"io/fs"
 	"path/filepath"
 	"sort"
 
 	"seqatpg/internal/atpg"
 	"seqatpg/internal/fault"
+	"seqatpg/internal/ioguard"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/sim"
 )
 
 // checkpointVersion is bumped whenever the on-disk schema changes; a
 // file with a different version is rejected, never reinterpreted.
-const checkpointVersion = 1
+// Version 2 added the payload CRC32 and the .prev generation.
+const checkpointVersion = 2
+
+// prevSuffix names the previous checkpoint generation, kept so a
+// corrupt current generation never strands a resume.
+const prevSuffix = ".prev"
 
 // ErrCheckpointMismatch reports a checkpoint that does not belong to
 // this campaign: wrong schema version, or a fingerprint recorded over a
@@ -54,8 +61,13 @@ func Fingerprint(c *netlist.Circuit, cfg Config, faults []fault.Fault) string {
 
 // On-disk schema. Vectors are "01X" strings so checkpoints stay
 // human-inspectable; state sets are sorted for deterministic files.
+// Crc is the IEEE CRC32 of the file's canonical JSON rendering with
+// Crc itself zeroed — it catches torn tails and bit rot that still
+// happen to parse, which the fingerprint (a digest of the campaign,
+// not of the file) cannot.
 type ckptFile struct {
 	Version     int         `json:"version"`
+	Crc         uint32      `json:"crc32"`
 	Fingerprint string      `json:"fingerprint"`
 	Pass        int         `json:"pass"`
 	PassFaults  []int       `json:"pass_faults"`
@@ -327,9 +339,28 @@ func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
 	return snap, nil
 }
 
-// saveState atomically rewrites the checkpoint: the file is either the
-// previous complete checkpoint or the new one, never a torn write.
-func saveState(path, fp string, st *state) error {
+// payloadCRC computes the checksum loadState verifies: the IEEE CRC32
+// of the file's canonical JSON rendering with the Crc field zeroed.
+// Verifying against a re-marshal of the decoded struct (rather than
+// the raw bytes) keeps the checksum independent of whitespace, so a
+// hand-inspected and re-saved checkpoint still loads.
+func payloadCRC(file ckptFile) (uint32, error) {
+	file.Crc = 0
+	body, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(body), nil
+}
+
+// saveState durably rewrites the checkpoint with two generations:
+// the payload is written to path+".tmp" and fsynced, the current
+// generation (if any) is rotated to path+".prev", the temp file is
+// renamed over path and the parent directory is fsynced. A crash at
+// any point leaves at least one complete, CRC-verifiable generation
+// on disk — the new one, the previous one, or (rotated but not yet
+// replaced) the previous one under .prev.
+func saveState(fsys ioguard.FS, path, fp string, st *state) error {
 	outcomes := make([]byte, len(st.outcomes))
 	done := make([]byte, len(st.done))
 	for i, o := range st.outcomes {
@@ -352,34 +383,100 @@ func saveState(path, fp string, st *state) error {
 		Crashes:     encodeCrashes(st.crashes),
 		Snap:        encodeSnap(st.snap),
 	}
+	crc, err := payloadCRC(file)
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	file.Crc = crc
 	data, err := json.MarshalIndent(&file, "", " ")
 	if err != nil {
 		return fmt.Errorf("campaign: encode checkpoint: %w", err)
 	}
 	data = append(data, '\n')
+	dir := filepath.Dir(path)
 	tmp := path + ".tmp"
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("campaign: checkpoint directory: %w", err)
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Sync(tmp); err != nil {
+		return fmt.Errorf("campaign: sync checkpoint: %w", err)
+	}
+	// Rotate the current generation out of the way instead of renaming
+	// over it: if anything past this point fails, the previous complete
+	// checkpoint is still loadable from .prev.
+	if err := fsys.Rename(path, path+prevSuffix); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("campaign: rotate checkpoint: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("campaign: commit checkpoint: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("campaign: sync checkpoint directory: %w", err)
 	}
 	return nil
 }
 
-// loadState reads and validates a checkpoint. A missing file is not an
-// error (the campaign simply starts fresh); a file that exists but does
-// not match the fingerprint or schema is rejected loudly so a stale or
-// foreign checkpoint can never silently poison a run.
-func loadState(path, fp string, n int) (*state, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+// removeState deletes every generation of a finished campaign's
+// checkpoint (current, previous, stale temp). Only fs.ErrNotExist is
+// tolerated; anything else is reported so the caller can log it.
+func removeState(fsys ioguard.FS, path string) error {
+	var firstErr error
+	for _, p := range []string{path, path + prevSuffix, path + ".tmp"} {
+		if err := fsys.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
+}
+
+// loadState reads and validates a checkpoint, falling back across
+// generations. A missing checkpoint (neither generation exists) is not
+// an error — the campaign simply starts fresh. A current generation
+// that is torn, corrupt or CRC-mismatched falls back to the previous
+// generation (fellBack reports this) instead of erroring the whole
+// resume; resuming from an older checkpoint is always sound because a
+// resumed campaign finishes byte-identical from any valid generation.
+// A checkpoint that parses cleanly but belongs to a different campaign
+// (ErrCheckpointMismatch) is rejected loudly with no fallback: that is
+// operator error, not data loss.
+func loadState(fsys ioguard.FS, path, fp string, n int) (st *state, fellBack bool, err error) {
+	cur, errCur := loadGeneration(fsys, path, fp, n)
+	if errCur == nil {
+		return cur, false, nil
+	}
+	if errors.Is(errCur, ErrCheckpointMismatch) {
+		return nil, false, errCur
+	}
+	curMissing := errors.Is(errCur, fs.ErrNotExist)
+	prev, errPrev := loadGeneration(fsys, path+prevSuffix, fp, n)
+	switch {
+	case errPrev == nil:
+		return prev, true, nil
+	case errors.Is(errPrev, ErrCheckpointMismatch):
+		return nil, false, errPrev
+	case errors.Is(errPrev, fs.ErrNotExist):
+		if curMissing {
+			return nil, false, nil // fresh start
+		}
+		return nil, false, fmt.Errorf("campaign: checkpoint unusable and no previous generation exists: %w", errCur)
+	default:
+		return nil, false, fmt.Errorf("campaign: both checkpoint generations unusable: %w; previous: %v", errCur, errPrev)
+	}
+}
+
+// loadGeneration reads and validates one checkpoint generation. A
+// missing file surfaces as fs.ErrNotExist; a file recorded for a
+// different campaign as ErrCheckpointMismatch; everything else is
+// corruption the caller may fall back from.
+func loadGeneration(fsys ioguard.FS, path, fp string, n int) (*state, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("campaign: checkpoint %s: %w", path, fs.ErrNotExist)
+		}
 		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
 	var file ckptFile
@@ -389,6 +486,13 @@ func loadState(path, fp string, n int) (*state, error) {
 	if file.Version != checkpointVersion {
 		return nil, fmt.Errorf("%w: %s has schema version %d, this build writes %d",
 			ErrCheckpointMismatch, path, file.Version, checkpointVersion)
+	}
+	want, err := payloadCRC(file)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checksum checkpoint %s: %w", path, err)
+	}
+	if file.Crc != want {
+		return nil, fmt.Errorf("campaign: checkpoint %s fails its CRC32 (file records %08x, payload hashes to %08x): torn write or corruption", path, file.Crc, want)
 	}
 	if file.Fingerprint != fp {
 		return nil, fmt.Errorf("%w: %s was recorded for fingerprint %.12s…, this run is %.12s… (different circuit, config or fault list)",

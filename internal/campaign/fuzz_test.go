@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"seqatpg/internal/atpg"
+	"seqatpg/internal/ioguard"
 	"seqatpg/internal/sim"
 )
 
@@ -14,7 +15,7 @@ import (
 func seedCheckpoint(f *testing.F, st *state) {
 	f.Helper()
 	path := filepath.Join(f.TempDir(), "seed.json")
-	if err := saveState(path, "seed-fingerprint", st); err != nil {
+	if err := saveState(ioguard.OS, path, "seed-fingerprint", st); err != nil {
 		f.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -62,23 +63,38 @@ func FuzzCheckpoint(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		// Self-consistent fingerprint and fault count, when extractable.
+		// The raw bytes must never panic the loader, whatever they are.
+		_, _, _ = loadState(ioguard.OS, path, "", 0)
+		// Self-consistent fingerprint, fault count and CRC, when
+		// extractable: healing the checksum lets structurally valid
+		// files reach the deep decoding paths instead of dying at the
+		// CRC gate the fuzzer can almost never satisfy by chance.
 		fp, n := "", 0
 		var file ckptFile
-		if json.Unmarshal(data, &file) == nil {
-			fp = file.Fingerprint
-			n = len(file.Outcomes)
+		if json.Unmarshal(data, &file) != nil {
+			return
 		}
-		st, err := loadState(path, fp, n)
+		fp = file.Fingerprint
+		n = len(file.Outcomes)
+		if crc, err := payloadCRC(file); err == nil {
+			file.Crc = crc
+			healed, err := json.Marshal(&file)
+			if err == nil {
+				if err := os.WriteFile(path, healed, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st, _, err := loadState(ioguard.OS, path, fp, n)
 		if err != nil || st == nil {
 			return
 		}
 		// A state the decoder accepted must survive a round trip.
 		again := filepath.Join(t.TempDir(), "again.json")
-		if err := saveState(again, fp, st); err != nil {
+		if err := saveState(ioguard.OS, again, fp, st); err != nil {
 			t.Fatalf("saveState rejected a state loadState produced: %v", err)
 		}
-		st2, err := loadState(again, fp, n)
+		st2, _, err := loadState(ioguard.OS, again, fp, n)
 		if err != nil {
 			t.Fatalf("round trip failed: %v", err)
 		}

@@ -197,6 +197,8 @@ func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result 
 		}
 		merged.Interrupted = merged.Interrupted || res.Interrupted
 		merged.Resumed = merged.Resumed || res.Resumed
+		merged.CheckpointFailures += res.CheckpointFailures
+		merged.Degraded = merged.Degraded || res.Degraded
 		if res.Passes > merged.Passes {
 			merged.Passes = res.Passes
 		}

@@ -105,6 +105,7 @@ func TestRunShardedInterruptResume(t *testing.T) {
 		cfg.CheckpointPath = ckpt
 		cfg.CheckpointEvery = time.Nanosecond
 		cfg.Resume = true
+		cfg.FS = nosyncFS
 		var attempts atomic.Int64
 		cfg.Hook = func(i int, f fault.Fault) {
 			if attempts.Add(1) >= cancelAfter {

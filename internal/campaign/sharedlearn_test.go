@@ -13,6 +13,7 @@ import (
 
 	"seqatpg/internal/atpg"
 	"seqatpg/internal/fault"
+	"seqatpg/internal/ioguard"
 )
 
 // sharedCfg is engineCfg with the cross-fault justification cache on.
@@ -116,10 +117,10 @@ func TestCheckpointRoundTripSharedFailed(t *testing.T) {
 		states:     map[uint64]bool{3: true},
 		snap:       snap,
 	}
-	if err := saveState(path, "fp", st); err != nil {
+	if err := saveState(ioguard.OS, path, "fp", st); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadState(path, "fp", 2)
+	got, _, err := loadState(ioguard.OS, path, "fp", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,6 +168,7 @@ func TestCampaignResumeExactWithSharedLearning(t *testing.T) {
 		cfg.CheckpointPath = ckpt
 		cfg.CheckpointEvery = time.Nanosecond
 		cfg.Resume = true
+		cfg.FS = nosyncFS
 		attempts := 0
 		cfg.Hook = func(i int, f fault.Fault) {
 			if attempts++; attempts >= cancelAfter {

@@ -1,0 +1,323 @@
+package ioguard
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Injection errors. ErrInjected is the generic scripted failure;
+// ErrKilled is returned by every operation after Kill, the way every
+// syscall "fails" once the process is dead.
+var (
+	ErrInjected = errors.New("ioguard: injected fault")
+	ErrKilled   = errors.New("ioguard: filesystem killed")
+)
+
+// Mode selects what a matching Rule does to the operation.
+type Mode int
+
+const (
+	// Fail returns Rule.Err (ErrInjected if nil) without touching disk.
+	Fail Mode = iota
+	// ENOSPC writes a truncated prefix of the data (writes only), then
+	// returns syscall.ENOSPC — a full disk accepts part of a write.
+	ENOSPC
+	// Torn writes a truncated prefix of the data (writes only), then
+	// returns ErrInjected: a power cut mid-write.
+	Torn
+	// Delay sleeps Rule.Delay, then performs the operation normally.
+	Delay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fail:
+		return "fail"
+	case ENOSPC:
+		return "enospc"
+	case Torn:
+		return "torn"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Rule scripts one fault: it matches operations by kind, path
+// substring and position in the mutating-op sequence, and injects
+// Mode. Rules are evaluated in order; the first match fires.
+type Rule struct {
+	// Kind restricts the rule to one operation kind: "write", "rename",
+	// "remove", "mkdir", "sync", "syncdir", "read", "readdir", "glob".
+	// Empty matches every kind.
+	Kind string
+	// PathContains restricts the rule to operations whose path (or
+	// pattern) contains this substring. Empty matches every path.
+	PathContains string
+	// From and Count bound the firing window in mutating-op indices:
+	// the rule fires on matching operations whose index is in
+	// [From, From+Count). Count <= 0 leaves the window open-ended.
+	// Read-kind operations are matched against the index the next
+	// mutating operation would get.
+	From, Count int
+	// Mode is the injected behavior; the zero value is Fail.
+	Mode Mode
+	// Err overrides the returned error for Fail; nil selects ErrInjected.
+	Err error
+	// KeepBytes is how much of a torn/ENOSPC write actually lands on
+	// disk: 0 means half the data, negative means nothing.
+	KeepBytes int
+	// Delay is the sleep for Mode Delay.
+	Delay time.Duration
+}
+
+// FaultFS wraps an inner FS and injects scripted faults. It also
+// counts mutating operations, so a recording pass (no rules) can
+// enumerate every write point of a workload and a chaos loop can then
+// kill the workload at each one.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	rules  []Rule
+	mutOps int
+	trips  int
+	killed bool
+	onTrip func(op int, r Rule)
+}
+
+// NewFaultFS wraps inner with the given fault schedule. With no rules
+// it is a transparent pass-through that counts mutating operations.
+func NewFaultFS(inner FS, rules ...Rule) *FaultFS {
+	return &FaultFS{inner: inner, rules: rules}
+}
+
+// OnTrip registers a callback invoked (without internal locks held)
+// every time a rule fires; chaos tests use it to cancel the workload's
+// context at the moment of the injected crash.
+func (f *FaultFS) OnTrip(fn func(op int, r Rule)) { f.mu.Lock(); f.onTrip = fn; f.mu.Unlock() }
+
+// Kill makes every subsequent operation — reads included — fail with
+// ErrKilled, simulating the process dying mid-run.
+func (f *FaultFS) Kill() { f.mu.Lock(); f.killed = true; f.mu.Unlock() }
+
+// MutatingOps reports how many mutating operations (write, rename,
+// remove, mkdir, sync, syncdir) have been issued so far.
+func (f *FaultFS) MutatingOps() int { f.mu.Lock(); defer f.mu.Unlock(); return f.mutOps }
+
+// Trips reports how many times a rule has fired.
+func (f *FaultFS) Trips() int { f.mu.Lock(); defer f.mu.Unlock(); return f.trips }
+
+// begin advances the op counter, checks the kill latch, and returns
+// the first matching rule (by value) if one fires.
+func (f *FaultFS) begin(kind, path string, mutating bool) (rule *Rule, err error) {
+	f.mu.Lock()
+	op := f.mutOps
+	if mutating {
+		f.mutOps++
+	}
+	if f.killed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("ioguard: %s %s: %w", kind, path, ErrKilled)
+	}
+	var hit *Rule
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Kind != "" && r.Kind != kind {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if op < r.From || (r.Count > 0 && op >= r.From+r.Count) {
+			continue
+		}
+		hit = r
+		break
+	}
+	var cb func(int, Rule)
+	var rv Rule
+	if hit != nil {
+		f.trips++
+		rv = *hit
+		cb = f.onTrip
+	}
+	f.mu.Unlock()
+	if hit == nil {
+		return nil, nil
+	}
+	if cb != nil {
+		// An OnTrip callback may Kill the fs; the current operation
+		// still applies its scripted mode (a torn write tears before
+		// the process dies), the latch covers the operations after it.
+		cb(op, rv)
+	}
+	return &rv, nil
+}
+
+func (r *Rule) failErr(kind, path string) error {
+	e := r.Err
+	if e == nil {
+		e = ErrInjected
+	}
+	return fmt.Errorf("ioguard: %s %s: %w", kind, path, e)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	r, err := f.begin("read", path, false)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return nil, r.failErr("read", path)
+		}
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	r, err := f.begin("write", path, true)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return f.inner.WriteFile(path, data, perm)
+	}
+	switch r.Mode {
+	case Delay:
+		time.Sleep(r.Delay)
+		return f.inner.WriteFile(path, data, perm)
+	case Torn, ENOSPC:
+		keep := r.KeepBytes
+		if keep == 0 {
+			keep = len(data) / 2
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+		// Best effort: the torn prefix is what survives the "crash".
+		_ = f.inner.WriteFile(path, data[:keep], perm)
+		if r.Mode == ENOSPC {
+			return fmt.Errorf("ioguard: write %s (%d/%d bytes): %w", path, keep, len(data), syscall.ENOSPC)
+		}
+		return fmt.Errorf("ioguard: torn write %s (%d/%d bytes): %w", path, keep, len(data), ErrInjected)
+	default:
+		return r.failErr("write", path)
+	}
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	r, err := f.begin("rename", oldpath, true)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return r.failErr("rename", oldpath+" -> "+newpath)
+		}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	r, err := f.begin("remove", path, true)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return r.failErr("remove", path)
+		}
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	r, err := f.begin("mkdir", path, true)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return r.failErr("mkdir", path)
+		}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	r, err := f.begin("readdir", path, false)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return nil, r.failErr("readdir", path)
+		}
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *FaultFS) Glob(pattern string) ([]string, error) {
+	r, err := f.begin("glob", pattern, false)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return nil, r.failErr("glob", pattern)
+		}
+	}
+	return f.inner.Glob(pattern)
+}
+
+func (f *FaultFS) Sync(path string) error {
+	r, err := f.begin("sync", path, true)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return r.failErr("sync", path)
+		}
+	}
+	return f.inner.Sync(path)
+}
+
+func (f *FaultFS) SyncDir(path string) error {
+	r, err := f.begin("syncdir", path, true)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		if r.Mode == Delay {
+			time.Sleep(r.Delay)
+		} else {
+			return r.failErr("syncdir", path)
+		}
+	}
+	return f.inner.SyncDir(path)
+}

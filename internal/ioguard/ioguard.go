@@ -1,0 +1,115 @@
+// Package ioguard is the filesystem seam between the persistence
+// paths (campaign checkpoints, the service job store) and the OS. All
+// durable state in this system is written through an FS value: the
+// real implementation in production, and a fault-injecting
+// implementation (FaultFS) in the chaos tests, which can fail the Nth
+// write, truncate mid-write to simulate torn writes and power loss,
+// return ENOSPC, delay I/O, or go dead entirely the way a killed
+// process does. The seam cannot change what a campaign computes — only
+// whether its state survives — which is why it is never part of a
+// checkpoint fingerprint.
+package ioguard
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the set of filesystem operations the persistence layers use.
+// Write operations carry no durability on their own: callers that need
+// crash safety combine them with Sync/SyncDir (or use
+// WriteFileDurable), and the chaos suite exists to prove they did.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or truncates path with data. It does NOT sync.
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Glob(pattern string) ([]string, error)
+	// Sync fsyncs the file at path.
+	Sync(path string) error
+	// SyncDir fsyncs the directory at path, making previously renamed
+	// or created entries durable.
+	SyncDir(path string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (osFS) Sync(path string) error { return syncPath(path) }
+
+func (osFS) SyncDir(path string) error { return syncPath(path) }
+
+// syncPath opens path read-only and fsyncs it; on Linux this is valid
+// for both regular files and directories.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fsync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// NoSync wraps an FS so that Sync and SyncDir succeed without touching
+// the disk. It exists for tests: every crash-safety property that is
+// observable in-process (rename atomicity, generation rotation,
+// fallback on corruption) is independent of physical flushing, which
+// only matters across power loss — and real fsyncs dominate the
+// runtime of checkpoint-heavy tests on some filesystems. Production
+// code must not use it.
+func NoSync(fsys FS) FS { return noSyncFS{fsys} }
+
+type noSyncFS struct{ FS }
+
+func (noSyncFS) Sync(string) error    { return nil }
+func (noSyncFS) SyncDir(string) error { return nil }
+
+// WriteFileDurable atomically and durably replaces path with data:
+// write to path+".tmp", fsync the temp file, rename over path, fsync
+// the parent directory. After it returns nil, a crash at any later
+// point leaves the complete new content at path; a crash at any
+// earlier point leaves the previous content of path untouched (plus,
+// possibly, a stale .tmp file for startup sweeps to collect).
+func WriteFileDurable(fsys FS, path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := fsys.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := fsys.Sync(tmp); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,219 @@
+package ioguard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWriteFileDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "state.json")
+	want := []byte(`{"k":1}`)
+	if err := WriteFileDurable(OS, path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// No stale temp file after a successful write.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file left behind (stat err %v)", err)
+	}
+	// Replacing the file keeps it whole.
+	want2 := []byte(`{"k":2,"longer":true}`)
+	if err := WriteFileDurable(OS, path, want2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := OS.ReadFile(path); string(got) != string(want2) {
+		t.Fatalf("after replace: %q, want %q", got, want2)
+	}
+}
+
+// TestFaultFSPassThroughCounts: with no rules, the fault fs is
+// transparent and counts exactly the mutating operations.
+func TestFaultFSPassThroughCounts(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(dir, "a", "f.txt")
+	if err := WriteFileDurable(ffs, path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// mkdir + write + sync + rename + syncdir = 5 mutating ops.
+	if got := ffs.MutatingOps(); got != 5 {
+		t.Errorf("MutatingOps = %d, want 5", got)
+	}
+	if _, err := ffs.ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.MutatingOps(); got != 5 {
+		t.Errorf("read advanced the mutating counter to %d", got)
+	}
+	if ffs.Trips() != 0 {
+		t.Errorf("%d trips with no rules", ffs.Trips())
+	}
+}
+
+// TestFaultFSFailNthWrite: a rule windowed on the op index fails
+// exactly the scripted operation; the trip callback fires.
+func TestFaultFSFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Rule{Kind: "write", From: 1, Count: 1})
+	var tripped []int
+	ffs.OnTrip(func(op int, r Rule) { tripped = append(tripped, op) })
+
+	if err := ffs.WriteFile(filepath.Join(dir, "a"), []byte("1"), 0o644); err != nil {
+		t.Fatalf("op 0 failed: %v", err)
+	}
+	err := ffs.WriteFile(filepath.Join(dir, "b"), []byte("2"), 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 1: err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("Fail mode touched the disk")
+	}
+	if err := ffs.WriteFile(filepath.Join(dir, "c"), []byte("3"), 0o644); err != nil {
+		t.Fatalf("op 2 failed: %v", err)
+	}
+	if len(tripped) != 1 || tripped[0] != 1 {
+		t.Errorf("tripped ops %v, want [1]", tripped)
+	}
+}
+
+// TestFaultFSTornWrite: Torn leaves the scripted prefix on disk and
+// reports the failure; ENOSPC does the same with a full-disk error.
+func TestFaultFSTornAndENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("0123456789")
+
+	torn := filepath.Join(dir, "torn")
+	ffs := NewFaultFS(OS, Rule{Kind: "write", Mode: Torn, KeepBytes: 4})
+	if err := ffs.WriteFile(torn, data, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if got, _ := os.ReadFile(torn); string(got) != "0123" {
+		t.Errorf("torn file holds %q, want the 4-byte prefix", got)
+	}
+
+	full := filepath.Join(dir, "full")
+	ffs = NewFaultFS(OS, Rule{Kind: "write", Mode: ENOSPC})
+	if err := ffs.WriteFile(full, data, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC write err = %v", err)
+	}
+	if got, _ := os.ReadFile(full); len(got) != len(data)/2 {
+		t.Errorf("ENOSPC left %d bytes, want half (%d)", len(got), len(data)/2)
+	}
+}
+
+// TestFaultFSKill: after Kill every operation fails, reads included —
+// the process is dead.
+func TestFaultFSKill(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS)
+	ffs.Kill()
+	if err := ffs.WriteFile(path, []byte("y"), 0o644); !errors.Is(err, ErrKilled) {
+		t.Errorf("write after kill: %v", err)
+	}
+	if _, err := ffs.ReadFile(path); !errors.Is(err, ErrKilled) {
+		t.Errorf("read after kill: %v", err)
+	}
+	if err := ffs.Remove(path); !errors.Is(err, ErrKilled) {
+		t.Errorf("remove after kill: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "x" {
+		t.Errorf("killed fs modified the disk: %q", got)
+	}
+}
+
+// TestFaultFSKillOnTrip is the chaos-suite idiom: the first tripped
+// rule kills the fs, so the scripted failure point and everything
+// after it fail, exactly like a crash at that write.
+func TestFaultFSKillOnTrip(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Rule{From: 2})
+	ffs.OnTrip(func(op int, r Rule) { ffs.Kill() })
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := ffs.WriteFile(a, []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.WriteFile(b, []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.WriteFile(a, []byte("3"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := ffs.Sync(a); !errors.Is(err, ErrKilled) {
+		t.Fatalf("op 3 after kill: %v", err)
+	}
+	if got, _ := os.ReadFile(a); string(got) != "1" {
+		t.Errorf("a = %q, want the pre-crash content", got)
+	}
+}
+
+// TestFaultFSPathAndKindMatch: rules scope by path substring and kind.
+func TestFaultFSPathAndKindMatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Rule{Kind: "write", PathContains: "checkpoint"})
+	if err := ffs.WriteFile(filepath.Join(dir, "job.json"), []byte("j"), 0o644); err != nil {
+		t.Fatalf("unmatched path failed: %v", err)
+	}
+	if err := ffs.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("c"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched path err = %v", err)
+	}
+	// A rename of the same path is a different kind and passes.
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.old"), []byte("o"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "checkpoint.old"), filepath.Join(dir, "checkpoint.new")); err != nil {
+		t.Fatalf("unmatched kind failed: %v", err)
+	}
+}
+
+// TestFaultFSDelay: Delay injects latency but the operation succeeds.
+func TestFaultFSDelay(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Rule{Kind: "write", Mode: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := ffs.WriteFile(filepath.Join(dir, "slow"), []byte("s"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delayed write took %v, want >= 20ms", d)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "slow")); string(got) != "s" {
+		t.Error("delayed write lost the data")
+	}
+}
+
+// TestNoSyncDelegates: NoSync writes real bytes and swallows only the
+// flush calls, so durable-write sequences behave identically minus the
+// physical fsyncs.
+func TestNoSyncDelegates(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NoSync(OS)
+	path := filepath.Join(dir, "f")
+	if err := WriteFileDurable(fsys, path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read after durable write: %q, %v", got, err)
+	}
+	if err := fsys.Sync(filepath.Join(dir, "missing")); err != nil {
+		t.Errorf("NoSync.Sync touched the disk: %v", err)
+	}
+	if err := fsys.SyncDir(filepath.Join(dir, "missing")); err != nil {
+		t.Errorf("NoSync.SyncDir touched the disk: %v", err)
+	}
+}

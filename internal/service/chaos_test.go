@@ -1,0 +1,375 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"seqatpg/internal/campaign"
+	"seqatpg/internal/ioguard"
+)
+
+// TestServiceChaosQueueCap429: past the queue cap, submissions come
+// back as HTTP 429 with a JSON error body, the rejection is counted,
+// and the queue depth gauge reports the bound being enforced.
+func TestServiceChaosQueueCap429(t *testing.T) {
+	s, err := New(t.TempDir(), Options{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	// Pin the single worker so submitted jobs pile up in the queue.
+	release := make(chan struct{})
+	s.testRunCampaign = func(ctx context.Context, j *job, ccfg campaign.Config) (*campaign.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &campaign.Result{Interrupted: true}, nil
+	}
+	defer close(release)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := func() *bytes.Reader {
+		b, _ := json.Marshal(Spec{Netlist: benchText(t, 5, 3), MaxFaults: 4})
+		return bytes.NewReader(b)
+	}
+	submit := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", body())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// First submission is picked up by the pinned worker; wait until it
+	// leaves the queue so the cap applies to the two after it.
+	resp := submit()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		s.mu.Lock()
+		empty := len(s.queue) == 0
+		s.mu.Unlock()
+		if empty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		resp := submit()
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d: status %d", i+2, resp.StatusCode)
+		}
+	}
+
+	resp = submit()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: status %d, want 429", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("429 content type %q, want JSON", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("429 body is not JSON: %v", err)
+	}
+	if !strings.Contains(e.Error, "queue is full") {
+		t.Errorf("429 error %q does not name the full queue", e.Error)
+	}
+
+	m := parseMetrics(t, ts.URL)
+	if m["atpg_submit_rejected_total"] != 1 {
+		t.Errorf("rejected counter %d, want 1", m["atpg_submit_rejected_total"])
+	}
+	if m["atpg_queue_depth"] != 2 {
+		t.Errorf("queue depth %d, want 2", m["atpg_queue_depth"])
+	}
+}
+
+// TestServiceChaosWatchdogFailsStuckJob: a running job whose campaign
+// stops making progress is failed with an explanatory error within the
+// watchdog budget — it must not pin its worker forever.
+func TestServiceChaosWatchdogFailsStuckJob(t *testing.T) {
+	s, err := New(t.TempDir(), Options{Workers: 1, StuckTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	// A campaign that hangs without a single fault attempt or
+	// checkpoint, honoring only cancellation — the pathology the
+	// watchdog exists for.
+	s.testRunCampaign = func(ctx context.Context, j *job, ccfg campaign.Config) (*campaign.Result, error) {
+		<-ctx.Done()
+		return &campaign.Result{Interrupted: true}, nil
+	}
+	id, err := s.Submit(Spec{Netlist: benchText(t, 5, 3), MaxFaults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, s, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Failed {
+		t.Fatalf("stuck job settled as %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "watchdog") {
+		t.Errorf("stuck job error %q does not name the watchdog", st.Error)
+	}
+	if got := s.metrics.watchdogTrips.Load(); got != 1 {
+		t.Errorf("watchdog trips %d, want 1", got)
+	}
+
+	// The worker is free again: a healthy job still completes. A fake
+	// campaign keeps this phase independent of machine speed — a real
+	// run's gaps between progress signals can exceed the deliberately
+	// tight 100ms budget under the race detector.
+	s.testRunCampaign = func(ctx context.Context, j *job, ccfg campaign.Config) (*campaign.Result, error) {
+		return &campaign.Result{}, nil
+	}
+	id2, err := s.Submit(Spec{Netlist: benchText(t, 5, 3), MaxFaults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, s, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+	if st, _ := s.Status(id2); st.State != Done {
+		t.Errorf("job after watchdog trip settled as %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// TestServiceChaosRestartQuarantine: after a crash that corrupted some
+// job records and left temp droppings, a restart quarantines exactly
+// the damaged jobs (failed, with the parse failure as the reason),
+// recovers every healthy one, and sweeps the stale temp files.
+func TestServiceChaosRestartQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := benchText(t, 5, 3)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := s.Submit(Spec{Netlist: net, MaxFaults: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	waitJobs(t, s, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: one job.json torn mid-write, one terminal.json
+	// replaced with garbage, temp files abandoned everywhere.
+	jobPath := filepath.Join(dir, ids[0], "job.json")
+	data, err := os.ReadFile(jobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jobPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ids[1], "terminal.json"), []byte("\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := []string{
+		filepath.Join(dir, "result.json.tmp"),
+		filepath.Join(dir, ids[2], "job.json.tmp"),
+	}
+	for _, p := range stale {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := New(dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("restart failed on a partially damaged store: %v", err)
+	}
+	defer s2.Close(context.Background())
+	waitJobs(t, s2, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+
+	for i, id := range ids {
+		st, err := s2.Status(id)
+		if err != nil {
+			t.Fatalf("job %s lost in recovery: %v", id, err)
+		}
+		if i < 2 {
+			if st.State != Failed || !st.Quarantined || !strings.Contains(st.Error, "quarantined") {
+				t.Errorf("damaged job %s: state=%s quarantined=%v err=%q", id, st.State, st.Quarantined, st.Error)
+			}
+		} else {
+			if st.State != Done || st.Result == nil {
+				t.Errorf("healthy job %s recovered as %s, want done with result", id, st.State)
+			}
+		}
+	}
+	if got := s2.metrics.quarantined.Load(); got != 2 {
+		t.Errorf("quarantined counter %d, want 2", got)
+	}
+	for _, p := range stale {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale temp file %s survived restart", p)
+		}
+	}
+}
+
+// TestServiceChaosDegradedCheckpointJob: a job whose every checkpoint
+// write fails still runs to completion with the exact same verdicts as
+// on a healthy disk — surfaced as degraded in the job status, the
+// summary and the metrics, never as a failure.
+func TestServiceChaosDegradedCheckpointJob(t *testing.T) {
+	net := benchText(t, 6, 5)
+	spec := Spec{Netlist: net, MaxFaults: 12, Retries: 1}
+
+	runOn := func(fsys ioguard.FS) (JobStatus, *Server) {
+		opts := Options{Workers: 1, CheckpointEvery: time.Nanosecond, FS: fsys}
+		s, err := New(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJobs(t, s, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, s
+	}
+
+	healthy, hs := runOn(nil)
+	defer hs.Close(context.Background())
+	if healthy.State != Done || healthy.Degraded {
+		t.Fatalf("healthy run: state=%s degraded=%v", healthy.State, healthy.Degraded)
+	}
+
+	ffs := ioguard.NewFaultFS(ioguard.OS,
+		ioguard.Rule{Kind: "write", PathContains: "checkpoint.json", Mode: ioguard.ENOSPC})
+	st, s := runOn(ffs)
+	defer s.Close(context.Background())
+	if st.State != Done {
+		t.Fatalf("degraded run settled as %s (%s), want done", st.State, st.Error)
+	}
+	if ffs.Trips() == 0 {
+		t.Fatal("no checkpoint write was ever attempted; test proves nothing")
+	}
+	if !st.Degraded || st.CheckpointFailures == 0 {
+		t.Errorf("job status not degraded: degraded=%v failures=%d", st.Degraded, st.CheckpointFailures)
+	}
+	if st.Result == nil || !st.Result.Degraded || st.Result.CheckpointFailures == 0 {
+		t.Errorf("summary not degraded: %+v", st.Result)
+	}
+
+	// Persistence trouble must not change a single verdict.
+	a, b := *healthy.Result, *st.Result
+	a.Degraded, b.Degraded = false, false
+	a.CheckpointFailures, b.CheckpointFailures = 0, 0
+	if a != b {
+		t.Errorf("degraded summary %+v != healthy summary %+v", b, a)
+	}
+
+	if got := s.metrics.ckptFailures.Load(); got == 0 {
+		t.Error("checkpoint failure counter never moved")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	m := parseMetrics(t, ts.URL)
+	if m["atpg_checkpoint_failures_total"] == 0 {
+		t.Error("metrics do not expose checkpoint failures")
+	}
+	if m["atpg_jobs_degraded"] != 1 {
+		t.Errorf("degraded-jobs gauge %d, want 1", m["atpg_jobs_degraded"])
+	}
+}
+
+// TestServiceChaosKillMidRunResumesExactly: the service-level version
+// of the campaign kill sweep — a job's filesystem dies mid-run (every
+// write from some point on fails and the server goes down with it); a
+// fresh server over the same directory must resume the job from its
+// last durable checkpoint and finish with the same verdicts as an
+// undisturbed run.
+func TestServiceChaosKillMidRunResumesExactly(t *testing.T) {
+	net := benchText(t, 6, 5)
+	spec := Spec{Netlist: net, MaxFaults: 12, Retries: 1}
+
+	// Baseline on a healthy disk.
+	hs, err := New(t.TempDir(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hid, err := hs.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, hs, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+	ref, err := hs.Status(hid)
+	if err != nil || ref.State != Done {
+		t.Fatalf("baseline: %+v err=%v", ref, err)
+	}
+	hs.Close(context.Background())
+
+	// The doomed run: after a handful of successful operations the
+	// disk dies; the server is then torn down like a crashed process.
+	dir := t.TempDir()
+	ffs := ioguard.NewFaultFS(ioguard.OS, ioguard.Rule{From: 12})
+	ffs.OnTrip(func(op int, r ioguard.Rule) { ffs.Kill() })
+	s, err := New(dir, Options{Workers: 1, CheckpointEvery: time.Nanosecond, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, s, time.Minute, func(st JobStatus) bool { return st.State.Terminal() || ffs.Trips() > 0 })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	s.Close(ctx)
+	cancel()
+
+	// Restart on the healed disk.
+	s2, err := New(dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("restart after crash: %v", err)
+	}
+	defer s2.Close(context.Background())
+	waitJobs(t, s2, time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
+	st, err := s2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Done {
+		t.Fatalf("resumed job settled as %s (%s), want done", st.State, st.Error)
+	}
+	a, b := *ref.Result, *st.Result
+	a.Resumed, b.Resumed = false, false
+	a.Degraded, b.Degraded = false, false
+	a.CheckpointFailures, b.CheckpointFailures = 0, 0
+	if a != b {
+		t.Errorf("resumed summary %+v != baseline %+v", b, a)
+	}
+}

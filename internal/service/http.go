@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"path/filepath"
 	"strings"
 )
@@ -57,6 +56,8 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
 	}
 	writeBody(w, code, map[string]string{"error": err.Error()})
 }
@@ -113,7 +114,7 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
 		return
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, st.ID, "vectors.vec"))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, st.ID, "vectors.vec"))
 	if err != nil {
 		httpError(w, fmt.Errorf("service: vectors: %w", err))
 		return
@@ -137,14 +138,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // the process (a restarted server starts them at zero, results on
 // disk persist independently).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var queued, running int
+	var queued, running, degraded int
 	s.mu.Lock()
+	depth := len(s.queue)
 	for _, j := range s.jobs {
 		switch j.state {
 		case Queued:
 			queued++
 		case Running:
 			running++
+		}
+		if j.degraded.Load() {
+			degraded++
 		}
 	}
 	s.mu.Unlock()
@@ -159,6 +164,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := &s.metrics
 	gauge("atpg_jobs_queued", "Jobs waiting for a worker.", int64(queued))
 	gauge("atpg_jobs_running", "Jobs currently executing.", int64(running))
+	gauge("atpg_queue_depth", "Pending submissions in the bounded queue.", int64(depth))
+	gauge("atpg_jobs_degraded", "Jobs that have survived at least one checkpoint-write failure.", int64(degraded))
 	fmt.Fprintf(&b, "# HELP atpg_jobs_finished_total Jobs that reached a terminal state.\n# TYPE atpg_jobs_finished_total counter\n")
 	fmt.Fprintf(&b, "atpg_jobs_finished_total{state=\"done\"} %d\n", m.jobsDone.Load())
 	fmt.Fprintf(&b, "atpg_jobs_finished_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
@@ -173,6 +180,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("atpg_tests_total", "Test sequences generated by done jobs.", m.tests.Load())
 	counter("atpg_fault_attempts_total", "Deterministic fault attempts started (live, all jobs).", m.attempts.Load())
 	counter("atpg_checkpoint_writes_total", "Campaign checkpoint files written.", m.ckptWrites.Load())
+	counter("atpg_checkpoint_failures_total", "Campaign checkpoint writes that failed (degraded mode).", m.ckptFailures.Load())
+	counter("atpg_submit_rejected_total", "Submissions rejected because the queue was full.", m.rejected.Load())
+	counter("atpg_jobs_quarantined_total", "Jobs quarantined during recovery for unreadable on-disk state.", m.quarantined.Load())
+	counter("atpg_watchdog_trips_total", "Running jobs interrupted by the stuck-progress watchdog.", m.watchdogTrips.Load())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

@@ -303,7 +303,7 @@ func TestMetricsReconcile(t *testing.T) {
 	waitJobs(t, srv, 2*time.Minute, func(st JobStatus) bool { return st.State.Terminal() })
 
 	var sum Summary
-	var attempts, ckpts int64
+	var attempts, ckpts, ckptFails, degraded int64
 	for _, id := range ids {
 		st := getStatus(t, ts.URL, id)
 		if st.State != Done {
@@ -319,6 +319,10 @@ func TestMetricsReconcile(t *testing.T) {
 		sum.Tests += r.Tests
 		attempts += st.Attempts
 		ckpts += st.CheckpointWrites
+		ckptFails += st.CheckpointFailures
+		if st.Degraded {
+			degraded++
+		}
 	}
 
 	m := parseMetrics(t, ts.URL)
@@ -340,6 +344,12 @@ func TestMetricsReconcile(t *testing.T) {
 		{`atpg_tests_total`, int64(sum.Tests)},
 		{`atpg_fault_attempts_total`, attempts},
 		{`atpg_checkpoint_writes_total`, ckpts},
+		{`atpg_checkpoint_failures_total`, ckptFails},
+		{`atpg_jobs_degraded`, degraded},
+		{`atpg_queue_depth`, 0},
+		{`atpg_submit_rejected_total`, 0},
+		{`atpg_jobs_quarantined_total`, 0},
+		{`atpg_watchdog_trips_total`, 0},
 	}
 	for _, c := range checks {
 		got, ok := m[c.name]

@@ -19,6 +19,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,6 +35,7 @@ import (
 
 	"seqatpg/internal/campaign"
 	"seqatpg/internal/fault"
+	"seqatpg/internal/ioguard"
 	"seqatpg/internal/sim"
 )
 
@@ -63,10 +65,11 @@ var transitions = map[State]map[State]bool{
 
 // Service errors the HTTP layer maps to status codes.
 var (
-	ErrNotFound = errors.New("service: no such job")
-	ErrTerminal = errors.New("service: job already finished")
-	ErrDraining = errors.New("service: server is draining")
-	ErrNotDone  = errors.New("service: job has not completed")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrTerminal  = errors.New("service: job already finished")
+	ErrDraining  = errors.New("service: server is draining")
+	ErrNotDone   = errors.New("service: job has not completed")
+	ErrQueueFull = errors.New("service: submission queue is full")
 )
 
 // Options tunes a Server.
@@ -79,8 +82,33 @@ type Options struct {
 	// LogTail caps the per-job progress log kept in memory; zero
 	// selects 50 lines.
 	LogTail int
+	// QueueCap bounds the pending-job queue: submissions past the cap
+	// are rejected with ErrQueueFull (HTTP 429) instead of growing the
+	// backlog without limit. Zero selects 256; negative disables the
+	// cap.
+	QueueCap int
+	// StuckTimeout is the per-job watchdog budget: a running job whose
+	// campaign makes no observable progress (no fault attempt and no
+	// checkpoint activity) for this long is failed rather than left
+	// hanging a worker forever. Zero disables the watchdog.
+	StuckTimeout time.Duration
 	// Logf, when set, receives server-level log lines.
 	Logf func(format string, args ...any)
+	// FS is the filesystem used for all job-store persistence; nil
+	// selects the real one. Fault-injection tests substitute an
+	// ioguard.FaultFS.
+	FS ioguard.FS
+}
+
+func (o Options) queueCap() int {
+	switch {
+	case o.QueueCap == 0:
+		return 256
+	case o.QueueCap < 0:
+		return int(^uint(0) >> 1) // no cap
+	default:
+		return o.QueueCap
+	}
 }
 
 // job is the in-memory record. Fields below the atomics are guarded by
@@ -91,12 +119,15 @@ type job struct {
 	spec    Spec
 	created time.Time
 
-	attempts   atomic.Int64
-	ckptWrites atomic.Int64
-	pass       atomic.Int64 // highest pass index seen + 1
-	runs       atomic.Int32 // times a worker of this process picked the job up
-	cancelReq  atomic.Bool
-	logs       logRing
+	attempts     atomic.Int64
+	ckptWrites   atomic.Int64
+	ckptFailures atomic.Int64
+	degraded     atomic.Bool
+	pass         atomic.Int64 // highest pass index seen + 1
+	runs         atomic.Int32 // times a worker of this process picked the job up
+	cancelReq    atomic.Bool
+	stuckReq     atomic.Bool // set by the watchdog before it cancels the run
+	logs         logRing
 
 	state       State
 	started     time.Time
@@ -104,6 +135,7 @@ type job struct {
 	errMsg      string
 	result      *Summary
 	totalFaults int
+	quarantined bool
 	cancel      context.CancelFunc // non-nil exactly while running
 }
 
@@ -117,20 +149,27 @@ type JobStatus struct {
 	Finished time.Time `json:"finished"`
 	Error    string    `json:"error,omitempty"`
 	// Live progress, fed from the campaign Hook/Log instrumentation.
-	TotalFaults      int      `json:"total_faults,omitempty"`
-	Attempts         int64    `json:"attempts"`
-	Pass             int      `json:"pass"`
-	CheckpointWrites int64    `json:"checkpoint_writes"`
-	Shards           int      `json:"shards,omitempty"`
-	Runs             int      `json:"runs,omitempty"` // diagnostics: pickups by this process
-	Log              []string `json:"log,omitempty"`
-	Result           *Summary `json:"result,omitempty"`
+	TotalFaults      int   `json:"total_faults,omitempty"`
+	Attempts         int64 `json:"attempts"`
+	Pass             int   `json:"pass"`
+	CheckpointWrites int64 `json:"checkpoint_writes"`
+	// Degraded reports that checkpoint persistence has failed at least
+	// once for this job: compute continues, but an interruption now
+	// loses more progress than CheckpointEvery promises.
+	Degraded           bool     `json:"degraded,omitempty"`
+	CheckpointFailures int64    `json:"checkpoint_failures,omitempty"`
+	Quarantined        bool     `json:"quarantined,omitempty"`
+	Shards             int      `json:"shards,omitempty"`
+	Runs               int      `json:"runs,omitempty"` // diagnostics: pickups by this process
+	Log                []string `json:"log,omitempty"`
+	Result             *Summary `json:"result,omitempty"`
 }
 
 // Server is the job service: store, queue and worker pool.
 type Server struct {
 	dir  string
 	opts Options
+	fs   ioguard.FS
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -149,6 +188,10 @@ type Server struct {
 	// testJobSettled, when set (tests only), fires after a job leaves
 	// the Running state for any reason.
 	testJobSettled func(id string, st State)
+	// testRunCampaign, when set (tests only), replaces the campaign
+	// execution inside runJob — watchdog tests hang here instead of
+	// engineering a genuinely stuck search.
+	testRunCampaign func(ctx context.Context, j *job, ccfg campaign.Config) (*campaign.Result, error)
 }
 
 // New opens (or creates) the service directory, recovers every job
@@ -162,16 +205,22 @@ func New(dir string, opts Options) (*Server, error) {
 	if opts.LogTail <= 0 {
 		opts.LogTail = 50
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = ioguard.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: job directory: %w", err)
 	}
 	s := &Server{
 		dir:  dir,
 		opts: opts,
+		fs:   fsys,
 		jobs: map[string]*job{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.ctx, s.stop = context.WithCancel(context.Background())
+	s.sweepStaleTemp()
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -197,8 +246,13 @@ type terminalFile struct {
 	Finished time.Time `json:"finished"`
 }
 
+// recover rescans the store. Damage to one job's files — a torn
+// job.json, a terminal marker that stopped halfway, a done job whose
+// result.json is gone — quarantines that job (terminal Failed, with
+// the parse failure as the reason, its files left untouched for
+// inspection) and never blocks recovery of the healthy jobs around it.
 func (s *Server) recover() error {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("service: scan %s: %w", s.dir, err)
 	}
@@ -207,38 +261,9 @@ func (s *Server) recover() error {
 		if !e.IsDir() {
 			continue
 		}
-		var jf jobFile
-		if err := readJSON(filepath.Join(s.dir, e.Name(), "job.json"), &jf); err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				continue // foreign directory; leave it alone
-			}
-			return fmt.Errorf("service: job %s: %w", e.Name(), err)
-		}
-		if jf.ID != e.Name() {
-			return fmt.Errorf("service: job directory %s holds job %q", e.Name(), jf.ID)
-		}
-		j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued}
-		j.logs.max = s.opts.LogTail
-		var tf terminalFile
-		switch err := readJSON(filepath.Join(s.dir, j.id, "terminal.json"), &tf); {
-		case err == nil:
-			if !tf.State.Terminal() {
-				return fmt.Errorf("service: job %s: terminal marker with live state %q", j.id, tf.State)
-			}
-			j.state = tf.State
-			j.errMsg = tf.Error
-			j.finished = tf.Finished
-			if j.state == Done {
-				var sum Summary
-				if err := readJSON(filepath.Join(s.dir, j.id, "result.json"), &sum); err != nil {
-					return fmt.Errorf("service: job %s: done without result: %w", j.id, err)
-				}
-				j.result = &sum
-			}
-		case errors.Is(err, os.ErrNotExist):
-			// Queued or interrupted mid-run: resumable.
-		default:
-			return fmt.Errorf("service: job %s: %w", j.id, err)
+		j, ok := s.recoverJob(e.Name())
+		if !ok {
+			continue
 		}
 		recovered = append(recovered, j)
 		if n := idNumber(j.id); n >= s.seq {
@@ -255,6 +280,78 @@ func (s *Server) recover() error {
 		}
 	}
 	return nil
+}
+
+// recoverJob loads one job directory, quarantining on any damage. The
+// false return means the directory is not a job at all.
+func (s *Server) recoverJob(name string) (*job, bool) {
+	var jf jobFile
+	if err := readJSON(s.fs, filepath.Join(s.dir, name, "job.json"), &jf); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false // foreign directory; leave it alone
+		}
+		return s.quarantine(name, Spec{}, fmt.Sprintf("job.json: %v", err)), true
+	}
+	if jf.ID != name {
+		return s.quarantine(name, jf.Spec, fmt.Sprintf("directory holds job %q", jf.ID)), true
+	}
+	j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued}
+	j.logs.max = s.opts.LogTail
+	var tf terminalFile
+	switch err := readJSON(s.fs, filepath.Join(s.dir, j.id, "terminal.json"), &tf); {
+	case err == nil:
+		if !tf.State.Terminal() {
+			return s.quarantine(name, jf.Spec, fmt.Sprintf("terminal marker with live state %q", tf.State)), true
+		}
+		j.state = tf.State
+		j.errMsg = tf.Error
+		j.finished = tf.Finished
+		if j.state == Done {
+			var sum Summary
+			if err := readJSON(s.fs, filepath.Join(s.dir, j.id, "result.json"), &sum); err != nil {
+				return s.quarantine(name, jf.Spec, fmt.Sprintf("done without result: %v", err)), true
+			}
+			j.result = &sum
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Queued or interrupted mid-run: resumable.
+	default:
+		return s.quarantine(name, jf.Spec, fmt.Sprintf("terminal.json: %v", err)), true
+	}
+	return j, true
+}
+
+// quarantine parks a damaged job as terminal Failed without touching
+// its files: the quarantine is recomputed (and logged) on every
+// restart until an operator repairs or removes the directory.
+func (s *Server) quarantine(id string, spec Spec, reason string) *job {
+	j := &job{id: id, spec: spec, state: Failed, quarantined: true,
+		errMsg: "quarantined: " + reason, finished: time.Now()}
+	j.logs.max = s.opts.LogTail
+	s.metrics.quarantined.Add(1)
+	s.logf("job %s quarantined: %s", id, reason)
+	return j
+}
+
+// sweepStaleTemp removes *.tmp files a mid-write crash left in the
+// store root or a job directory. They are never valid state — every
+// writer stages through a temp name and renames — so a survivor is
+// pure garbage that would otherwise accumulate forever.
+func (s *Server) sweepStaleTemp() {
+	for _, pat := range []string{
+		filepath.Join(s.dir, "*.tmp"),
+		filepath.Join(s.dir, "*", "*.tmp"),
+	} {
+		matches, err := s.fs.Glob(pat)
+		if err != nil {
+			continue
+		}
+		for _, m := range matches {
+			if err := s.fs.Remove(m); err == nil {
+				s.logf("removed stale temp file %s", m)
+			}
+		}
+	}
 }
 
 func idNumber(id string) int {
@@ -282,10 +379,14 @@ func (s *Server) Submit(spec Spec) (string, error) {
 	if s.closed {
 		return "", ErrDraining
 	}
+	if len(s.queue) >= s.opts.queueCap() {
+		s.metrics.rejected.Add(1)
+		return "", fmt.Errorf("%w (%d pending)", ErrQueueFull, len(s.queue))
+	}
 	id := fmt.Sprintf("j%06d", s.seq)
 	j := &job{id: id, spec: spec, created: time.Now(), state: Queued}
 	j.logs.max = s.opts.LogTail
-	if err := writeJSON(filepath.Join(s.dir, id, "job.json"), jobFile{ID: id, Spec: spec, Created: j.created}); err != nil {
+	if err := s.writeJSON(filepath.Join(s.dir, id, "job.json"), jobFile{ID: id, Spec: spec, Created: j.created}); err != nil {
 		return "", err
 	}
 	s.seq++
@@ -349,20 +450,23 @@ func (s *Server) List() []JobStatus {
 
 func (s *Server) statusLocked(j *job, withLog bool) JobStatus {
 	st := JobStatus{
-		ID:               j.id,
-		Name:             j.spec.Name,
-		State:            j.state,
-		Created:          j.created,
-		Started:          j.started,
-		Finished:         j.finished,
-		Error:            j.errMsg,
-		TotalFaults:      j.totalFaults,
-		Attempts:         j.attempts.Load(),
-		Pass:             int(j.pass.Load()),
-		CheckpointWrites: j.ckptWrites.Load(),
-		Shards:           j.spec.shardCount(),
-		Runs:             int(j.runs.Load()),
-		Result:           j.result,
+		ID:                 j.id,
+		Name:               j.spec.Name,
+		State:              j.state,
+		Created:            j.created,
+		Started:            j.started,
+		Finished:           j.finished,
+		Error:              j.errMsg,
+		TotalFaults:        j.totalFaults,
+		Attempts:           j.attempts.Load(),
+		Pass:               int(j.pass.Load()),
+		CheckpointWrites:   j.ckptWrites.Load(),
+		Degraded:           j.degraded.Load(),
+		CheckpointFailures: j.ckptFailures.Load(),
+		Quarantined:        j.quarantined,
+		Shards:             j.spec.shardCount(),
+		Runs:               int(j.runs.Load()),
+		Result:             j.result,
 	}
 	if withLog {
 		st.Log = j.logs.tail()
@@ -442,6 +546,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	ccfg.CheckpointPath = filepath.Join(s.dir, j.id, "checkpoint.json")
 	ccfg.CheckpointEvery = s.opts.CheckpointEvery
 	ccfg.Resume = true // picks up the checkpoint if one exists, fresh start otherwise
+	ccfg.FS = s.fs
 	ccfg.Hook = func(i int, f fault.Fault) {
 		j.attempts.Add(1)
 		s.metrics.attempts.Add(1)
@@ -450,15 +555,37 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		j.ckptWrites.Add(1)
 		s.metrics.ckptWrites.Add(1)
 	}
+	ccfg.OnCheckpointFailure = func(error) {
+		j.ckptFailures.Add(1)
+		j.degraded.Store(true)
+		s.metrics.ckptFailures.Add(1)
+	}
 	ccfg.Log = s.jobLogger(j)
 
+	if s.opts.StuckTimeout > 0 {
+		stopWatch := s.watchJob(ctx, j)
+		defer stopWatch()
+	}
+
 	var res *campaign.Result
-	if p.Shards > 1 {
+	switch {
+	case s.testRunCampaign != nil:
+		res, err = s.testRunCampaign(ctx, j, ccfg)
+	case p.Shards > 1:
 		res, err = campaign.RunSharded(ctx, p.Circuit, p.Faults, ccfg, p.Shards)
-	} else {
+	default:
 		res, err = campaign.Run(ctx, p.Circuit, p.Faults, ccfg)
 	}
+	if res != nil && res.Degraded {
+		j.degraded.Store(true)
+	}
+	stuck := j.stuckReq.Load()
 	switch {
+	case err != nil && stuck, err == nil && res.Interrupted && stuck:
+		// The watchdog tripped: fail the job rather than hang its
+		// worker forever. Checkpoints stay on disk — a resubmitted or
+		// restarted run resumes past the progress that was made.
+		s.finishJob(j, Failed, fmt.Sprintf("watchdog: no campaign progress within %v", s.opts.StuckTimeout), nil)
 	case err != nil:
 		s.finishJob(j, Failed, err.Error(), nil)
 	case res.Interrupted && j.cancelReq.Load():
@@ -482,6 +609,50 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.metrics.addResult(&sum)
 		s.finishJob(j, Done, "", &sum)
 	}
+}
+
+// watchJob is the per-job stuck watchdog: while the job runs, it
+// samples the observable progress counters (fault attempts plus
+// checkpoint activity, successes and failures alike) and, if nothing
+// moved for StuckTimeout, marks the job stuck and cancels its
+// campaign. runJob then fails the job — a pathological search that
+// stopped advancing surfaces as an error with a reason, instead of
+// silently pinning a worker forever. Returns the stop function.
+func (s *Server) watchJob(ctx context.Context, j *job) func() {
+	progress := func() int64 {
+		return j.attempts.Load() + j.ckptWrites.Load() + j.ckptFailures.Load()
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := s.opts.StuckTimeout / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last, lastChange := progress(), time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if p := progress(); p != last {
+					last, lastChange = p, time.Now()
+					continue
+				}
+				if time.Since(lastChange) >= s.opts.StuckTimeout {
+					j.stuckReq.Store(true)
+					s.metrics.watchdogTrips.Add(1)
+					s.logf("job %s: watchdog: no progress for %v, interrupting", j.id, s.opts.StuckTimeout)
+					j.cancel()
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // jobLogger feeds campaign progress lines into the job's ring buffer
@@ -528,7 +699,7 @@ func (s *Server) transitionLocked(j *job, st State, errMsg string) {
 	s.transitionMemLocked(j, st)
 	j.errMsg = errMsg
 	j.finished = time.Now()
-	if err := writeJSON(filepath.Join(s.dir, j.id, "terminal.json"),
+	if err := s.writeJSON(filepath.Join(s.dir, j.id, "terminal.json"),
 		terminalFile{State: st, Error: errMsg, Finished: j.finished}); err != nil {
 		s.logf("job %s: terminal marker: %v", j.id, err)
 	}
@@ -556,28 +727,25 @@ func (s *Server) settled(id string, st State) {
 	}
 }
 
-// persistResult writes result.json and the generated vectors.
+// persistResult durably writes result.json and the generated vectors.
 func (s *Server) persistResult(j *job, res *campaign.Result, sum *Summary) error {
-	if err := writeJSON(filepath.Join(s.dir, j.id, "result.json"), sum); err != nil {
+	if err := s.writeJSON(filepath.Join(s.dir, j.id, "result.json"), sum); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(s.dir, j.id, "vectors.vec"))
-	if err != nil {
+	var buf bytes.Buffer
+	if err := sim.WriteVectors(&buf, res.Tests); err != nil {
 		return err
 	}
-	if err := sim.WriteVectors(f, res.Tests); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return ioguard.WriteFileDurable(s.fs, filepath.Join(s.dir, j.id, "vectors.vec"), buf.Bytes(), 0o644)
 }
 
-// removeCheckpoints drops the job's checkpoint file(s) — plain and
-// per-shard — once the job is terminal and can never resume.
+// removeCheckpoints drops the job's checkpoint file(s) — plain,
+// per-shard and per-generation — once the job is terminal and can
+// never resume.
 func (s *Server) removeCheckpoints(j *job) {
-	matches, _ := filepath.Glob(filepath.Join(s.dir, j.id, "checkpoint.json*"))
+	matches, _ := s.fs.Glob(filepath.Join(s.dir, j.id, "checkpoint.json*"))
 	for _, m := range matches {
-		os.Remove(m)
+		s.fs.Remove(m)
 	}
 }
 
@@ -603,29 +771,25 @@ func (r *logRing) tail() []string {
 	return append([]string(nil), r.lines...)
 }
 
-// writeJSON atomically writes v as indented JSON, creating the parent
-// directory if needed.
-func writeJSON(path string, v any) error {
+// writeJSON durably replaces path with v as indented JSON: staged
+// through a temp file, fsynced, renamed over the target, parent
+// directory fsynced — what a restarted process reads back is either
+// the old version or the new one, never a torn mix, even across power
+// loss.
+func (s *Server) writeJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		return fmt.Errorf("service: encode %s: %w", filepath.Base(path), err)
 	}
 	data = append(data, '\n')
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("service: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("service: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := ioguard.WriteFileDurable(s.fs, path, data, 0o644); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
 	return nil
 }
 
-func readJSON(path string, v any) error {
-	data, err := os.ReadFile(path)
+func readJSON(fsys ioguard.FS, path string, v any) error {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}

@@ -294,10 +294,11 @@ func TestServerConcurrentSubmitCancelStatus(t *testing.T) {
 	t.Logf("%d done, %d cancelled under contention", done, cancelled)
 }
 
-// TestServerRecoverRejectsCorruptStore: a job directory whose records
-// are inconsistent fails loudly at startup instead of silently
-// re-running or dropping jobs.
-func TestServerRecoverRejectsCorruptStore(t *testing.T) {
+// TestServerRecoverQuarantinesCorruptJob: a job directory whose
+// records are inconsistent is quarantined — terminal Failed with the
+// inconsistency as the reason — instead of failing the whole store or
+// silently re-running.
+func TestServerRecoverQuarantinesCorruptJob(t *testing.T) {
 	dir := t.TempDir()
 	s, err := New(dir, Options{Workers: 1})
 	if err != nil {
@@ -313,10 +314,22 @@ func TestServerRecoverRejectsCorruptStore(t *testing.T) {
 	}
 
 	// A terminal marker claiming a live state is corruption.
-	if err := writeJSON(dir+"/"+id+"/terminal.json", terminalFile{State: Running}); err != nil {
+	if err := s.writeJSON(dir+"/"+id+"/terminal.json", terminalFile{State: Running}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(dir, Options{Workers: 1}); err == nil {
-		t.Error("recover accepted a terminal marker with a live state")
+	s2, err := New(dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("recover failed the whole store over one damaged job: %v", err)
+	}
+	defer s2.Close(context.Background())
+	st, err := s2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Failed || !st.Quarantined {
+		t.Errorf("damaged job recovered as %s (quarantined=%v), want quarantined failed", st.State, st.Quarantined)
+	}
+	if !strings.Contains(st.Error, "quarantined") {
+		t.Errorf("quarantined job error %q does not state the quarantine", st.Error)
 	}
 }

@@ -166,32 +166,39 @@ type Summary struct {
 	Passes          int     `json:"passes"`
 	Resumed         bool    `json:"resumed"`
 	Interrupted     bool    `json:"interrupted"`
-	Tests           int     `json:"tests"`
-	CrashRecords    int     `json:"crash_records"`
+	// Degraded records that the final run finished with at least one
+	// failed checkpoint write; the fault verdicts are unaffected (they
+	// never depend on persistence), but resume coverage had gaps.
+	Degraded           bool `json:"degraded,omitempty"`
+	CheckpointFailures int  `json:"checkpoint_failures,omitempty"`
+	Tests              int  `json:"tests"`
+	CrashRecords       int  `json:"crash_records"`
 }
 
 // NewSummary digests a campaign result.
 func NewSummary(res *campaign.Result) Summary {
 	s := res.Stats
 	return Summary{
-		Total:           s.Total,
-		Detected:        s.Detected,
-		Redundant:       s.Redundant,
-		Aborted:         s.Aborted,
-		Crashed:         s.Crashed,
-		Unconfirmed:     s.Unconfirmed,
-		Effort:          s.Effort,
-		Backtracks:      s.Backtracks,
-		LearnHits:       s.LearnHits,
-		LearnPrunes:     s.LearnPrunes,
-		StatesTraversed: len(s.StatesTraversed),
-		FC:              s.FC(),
-		FE:              s.FE(),
-		Passes:          res.Passes,
-		Resumed:         res.Resumed,
-		Interrupted:     res.Interrupted,
-		Tests:           len(res.Tests),
-		CrashRecords:    len(res.Crashes),
+		Total:              s.Total,
+		Detected:           s.Detected,
+		Redundant:          s.Redundant,
+		Aborted:            s.Aborted,
+		Crashed:            s.Crashed,
+		Unconfirmed:        s.Unconfirmed,
+		Effort:             s.Effort,
+		Backtracks:         s.Backtracks,
+		LearnHits:          s.LearnHits,
+		LearnPrunes:        s.LearnPrunes,
+		StatesTraversed:    len(s.StatesTraversed),
+		FC:                 s.FC(),
+		FE:                 s.FE(),
+		Passes:             res.Passes,
+		Resumed:            res.Resumed,
+		Interrupted:        res.Interrupted,
+		Degraded:           res.Degraded,
+		CheckpointFailures: res.CheckpointFailures,
+		Tests:              len(res.Tests),
+		CrashRecords:       len(res.Crashes),
 	}
 }
 
@@ -201,6 +208,10 @@ func NewSummary(res *campaign.Result) Summary {
 type counters struct {
 	attempts      atomic.Int64
 	ckptWrites    atomic.Int64
+	ckptFailures  atomic.Int64
+	rejected      atomic.Int64
+	quarantined   atomic.Int64
+	watchdogTrips atomic.Int64
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
