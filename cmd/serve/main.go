@@ -104,6 +104,11 @@ func run() int {
 			listenErr <- err
 		}
 	}()
+	// The handshake identity goes in the startup log so an operator can
+	// spot a skewed fleet from the logs alone, without curling /version.
+	v := service.Version()
+	log.Printf("%s worker build %s (%s): api v%d, checkpoint format v%d, result wire v%d",
+		v.Service, v.Build, v.Go, v.API, v.CheckpointFormat, v.ResultWire)
 	log.Printf("listening on %s, %d workers, jobs in %s", *addr, *workers, *dir)
 
 	select {

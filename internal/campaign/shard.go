@@ -50,7 +50,7 @@ func RunSharded(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, c
 	if shards < 1 {
 		return nil, fmt.Errorf("campaign: RunSharded with %d shards, want >= 1", shards)
 	}
-	cfg = normalizeForSharding(cfg)
+	cfg = NormalizeForSharding(cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,15 +66,7 @@ func RunSharded(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, c
 		}
 	}
 
-	// Round-robin partition: shard k attacks faults k, k+n, k+2n, …
-	// (contiguous blocks would hand one shard the whole hard tail of a
-	// sorted fault list; interleaving balances effort without breaking
-	// determinism).
-	idxs := make([][]int, shards)
-	for i := range faults {
-		k := i % shards
-		idxs[k] = append(idxs[k], i)
-	}
+	idxs := ShardIndices(len(faults), shards)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -102,18 +94,37 @@ func RunSharded(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, c
 		}
 	}
 
-	merged := mergeShards(faults, idxs, results)
+	merged := MergeShardResults(faults, idxs, results)
 	if !merged.Interrupted {
-		if err := upgradeAborted(c, faults, merged, cfg.fsimWorkers()); err != nil {
+		if err := UpgradeAborted(c, faults, merged, cfg.fsimWorkers()); err != nil {
 			return nil, fmt.Errorf("campaign: merge fault simulation: %w", err)
 		}
 	}
 	return merged, nil
 }
 
-// normalizeForSharding forces the engine features that would make a
+// ShardIndices is the round-robin partition RunSharded (and any
+// distributed dispatcher that must stay outcome-compatible with it)
+// uses: shard k of n attacks faults k, k+n, k+2n, … Contiguous blocks
+// would hand one shard the whole hard tail of a sorted fault list;
+// interleaving balances effort without breaking determinism. Shards
+// past the fault count come back empty.
+func ShardIndices(n, shards int) [][]int {
+	idxs := make([][]int, shards)
+	for i := 0; i < n; i++ {
+		k := i % shards
+		idxs[k] = append(idxs[k], i)
+	}
+	return idxs
+}
+
+// NormalizeForSharding forces the engine features that would make a
 // fault's verdict depend on its run-mates off, logging every change.
-func normalizeForSharding(cfg Config) Config {
+// It is exported because every runner that wants partition-invariant
+// outcomes — RunSharded locally, a fabric worker attacking one shard
+// of a distributed campaign — must apply the exact same normalization,
+// or merged verdicts would diverge from a single-node run.
+func NormalizeForSharding(cfg Config) Config {
 	e := &cfg.Engine
 	e.NoFaultDrop = true
 	if e.RandomSequences != 0 || e.RandomLength != 0 {
@@ -160,8 +171,14 @@ func runShard(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg
 	return Run(ctx, c, sub, scfg)
 }
 
-// mergeShards folds per-shard results back into original fault order.
-func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result {
+// MergeShardResults folds per-shard results back into original fault
+// order: results[k] covers exactly the faults idxs[k] selects (nil
+// entries — empty or missing shards — are skipped). This is the merge
+// RunSharded applies to its in-process workers; the fabric coordinator
+// applies the identical fold to results fetched over the wire, which
+// is what keeps a distributed campaign byte-compatible with a local
+// sharded one.
+func MergeShardResults(faults []fault.Fault, idxs [][]int, results []*Result) *Result {
 	merged := &Result{
 		Outcomes: make([]atpg.Outcome, len(faults)),
 		Stats: atpg.Stats{
@@ -209,7 +226,7 @@ func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result 
 	return merged
 }
 
-// upgradeAborted is the global fault-drop pass sharding deferred:
+// UpgradeAborted is the global fault-drop pass sharding deferred:
 // every generated test is fault-simulated against the still-aborted
 // faults, and hits become Detected. Because NoFaultDrop made every
 // test-generating fault attack directly, the set of tests — and hence
@@ -217,7 +234,7 @@ func mergeShards(faults []fault.Fault, idxs [][]int, results []*Result) *Result 
 // simulation is bookkeeping, not search, so it is not charged to
 // Stats.Effort; its batches fan out over `workers` (the outcome is
 // worker-count-invariant).
-func upgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result, workers int) error {
+func UpgradeAborted(c *netlist.Circuit, faults []fault.Fault, merged *Result, workers int) error {
 	var live []int
 	for i, o := range merged.Outcomes {
 		if o == atpg.Aborted {

@@ -1,0 +1,261 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingServer serves a fixed body and counts how many requests
+// actually reached it (past the fault layer).
+func countingServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestFaultRTFailWindow(t *testing.T) {
+	ts, hits := countingServer(t, "ok")
+	rt := NewFaultRT(nil, RTRule{From: 0, Count: 2, Mode: RTFail})
+	hc := &http.Client{Transport: rt}
+
+	for i := 0; i < 2; i++ {
+		if _, err := hc.Get(ts.URL); err == nil {
+			t.Fatalf("request %d passed through a fail window", i)
+		} else if !errors.Is(err, ErrRTInjected) {
+			t.Fatalf("request %d: error %v does not wrap ErrRTInjected", i, err)
+		}
+	}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request past the window: %v", err)
+	}
+	resp.Body.Close()
+	if rt.Requests() != 3 || rt.Trips() != 2 || hits.Load() != 1 {
+		t.Fatalf("requests=%d trips=%d hits=%d, want 3/2/1", rt.Requests(), rt.Trips(), hits.Load())
+	}
+}
+
+func TestFaultRTMatchers(t *testing.T) {
+	ts, _ := countingServer(t, "ok")
+	// Wrong method, wrong path, wrong host: none fire.
+	rt := NewFaultRT(nil,
+		RTRule{Method: "POST", Mode: RTFail},
+		RTRule{PathContains: "/jobs", Mode: RTFail},
+		RTRule{HostContains: "no-such-host", Mode: RTFail},
+	)
+	hc := &http.Client{Transport: rt}
+	resp, err := hc.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatalf("non-matching rules fired: %v", err)
+	}
+	resp.Body.Close()
+	if rt.Trips() != 0 {
+		t.Fatalf("trips=%d, want 0", rt.Trips())
+	}
+	// A matching path rule fires.
+	resp2, err := hc.Get(ts.URL + "/jobs/abc")
+	if err == nil {
+		resp2.Body.Close()
+		t.Fatal("path rule did not fire")
+	}
+}
+
+func TestFaultRTTornResponse(t *testing.T) {
+	ts, _ := countingServer(t, "a perfectly healthy response body")
+	rt := NewFaultRT(nil, RTRule{Mode: RTTorn, KeepBytes: 7})
+	hc := &http.Client{Transport: rt}
+
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("torn responses should fail at body read, not round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading a torn body: err=%v, want ErrUnexpectedEOF", err)
+	}
+	if string(data) != "a perfe" {
+		t.Fatalf("torn body kept %q, want the first 7 bytes", data)
+	}
+}
+
+func TestFaultRTLatency(t *testing.T) {
+	ts, _ := countingServer(t, "ok")
+	rt := NewFaultRT(nil, RTRule{Mode: RTLatency, Delay: 50 * time.Millisecond})
+	hc := &http.Client{Transport: rt}
+	start := time.Now()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Fatalf("latency injection took %v, want >= 50ms", d)
+	}
+}
+
+func TestFaultRTBlackholeUntilReleased(t *testing.T) {
+	ts, hits := countingServer(t, "ok")
+	rt := NewFaultRT(nil, RTRule{Mode: RTBlackhole})
+	hc := &http.Client{Transport: rt}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("blackholed request returned")
+	} else if !errors.Is(err, ErrRTBlackhole) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackholed request failed with %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("blackholed request reached the server")
+	}
+
+	rt.Release()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request after Release: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server hits after release: %d, want 1", hits.Load())
+	}
+}
+
+func TestClientRetriesTransportFaults(t *testing.T) {
+	ts, _ := countingServer(t, `{"service":"x"}`)
+	rt := NewFaultRT(nil, RTRule{From: 0, Count: 2, Mode: RTFail})
+	cl := NewClient(ts.URL, ClientOptions{
+		RetryMax: 3, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Transport: rt,
+	})
+	if _, err := cl.Version(context.Background()); err != nil {
+		t.Fatalf("client did not retry through a 2-fault window: %v", err)
+	}
+	if rt.Requests() != 3 {
+		t.Fatalf("requests=%d, want 3 (2 failures + 1 success)", rt.Requests())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, `{"service":"x"}`)
+	}))
+	defer ts.Close()
+	cl := NewClient(ts.URL, ClientOptions{RetryMax: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	start := time.Now()
+	if _, err := cl.Version(context.Background()); err != nil {
+		t.Fatalf("429 then 200 should succeed: %v", err)
+	}
+	if d := time.Since(start); d < 900*time.Millisecond {
+		t.Fatalf("client retried after %v, want >= the 1s Retry-After hint", d)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryCoherent4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such job", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	cl := NewClient(ts.URL, ClientOptions{RetryMax: 3, BackoffBase: time.Millisecond})
+	_, err := cl.Status(context.Background(), "nope")
+	if err == nil {
+		t.Fatal("404 surfaced as success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried a 404 (%d calls)", calls.Load())
+	}
+	if _, err := cl.Checkpoint(context.Background(), "nope"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("checkpoint 404: err=%v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestClientBreakerEjectsAndReadmits(t *testing.T) {
+	ts, _ := countingServer(t, `{"service":"x"}`)
+	rt := NewFaultRT(nil, RTRule{Mode: RTFail})
+	cl := NewClient(ts.URL, ClientOptions{
+		RetryMax: -1, BackoffBase: time.Millisecond,
+		BreakerThreshold: 2, Probation: 80 * time.Millisecond,
+		Transport: rt,
+	})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Version(ctx); err == nil {
+			t.Fatalf("call %d through an all-fail transport succeeded", i)
+		}
+	}
+	if cl.Available() {
+		t.Fatal("breaker still admitting calls after threshold failures")
+	}
+	if _, err := cl.Version(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: err=%v, want ErrBreakerOpen", err)
+	}
+	if cl.Ejections() != 1 {
+		t.Fatalf("ejections=%d, want 1", cl.Ejections())
+	}
+
+	// Heal the network; after probation the half-open probe re-admits.
+	rt.SetRules()
+	time.Sleep(100 * time.Millisecond)
+	if !cl.Available() {
+		t.Fatal("breaker not half-open after probation")
+	}
+	if _, err := cl.Version(ctx); err != nil {
+		t.Fatalf("probe call after probation: %v", err)
+	}
+	if !cl.Available() {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+	if cl.Ejections() != 1 {
+		t.Fatalf("ejections=%d after recovery, want still 1", cl.Ejections())
+	}
+}
+
+func TestClientBreakerReopensOnFailedProbe(t *testing.T) {
+	ts, _ := countingServer(t, `{"service":"x"}`)
+	rt := NewFaultRT(nil, RTRule{Mode: RTFail})
+	cl := NewClient(ts.URL, ClientOptions{
+		RetryMax: -1, BackoffBase: time.Millisecond,
+		BreakerThreshold: 1, Probation: 50 * time.Millisecond,
+		Transport: rt,
+	})
+	ctx := context.Background()
+	if _, err := cl.Version(ctx); err == nil {
+		t.Fatal("all-fail transport succeeded")
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Still broken: the probe fails and re-opens the breaker.
+	if _, err := cl.Version(ctx); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe: err=%v, want a transport failure", err)
+	}
+	if cl.Available() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	// The breaker never closed, so this is still the original ejection.
+	if cl.Ejections() != 1 {
+		t.Fatalf("ejections=%d, want 1 (re-opening is not a new ejection)", cl.Ejections())
+	}
+}

@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// MetricsSnapshot is a point-in-time view of the coordinator's fleet
+// counters, for tests and callers that do not scrape Prometheus.
+type MetricsSnapshot struct {
+	// LeasesActive is how many shards are currently dispatched and
+	// under a live lease.
+	LeasesActive int64
+	// RedispatchTotal counts shard dispatches after the first — every
+	// lease loss, worker failure or torn result that moved a shard.
+	RedispatchTotal int64
+	// WorkerEjectedTotal counts circuit-breaker openings across the
+	// fleet.
+	WorkerEjectedTotal int64
+	// ShardsRestoredTotal counts shards whose finished results were
+	// restored from the durable journal instead of re-run.
+	ShardsRestoredTotal int64
+	// WorkerInflight maps worker URL to its currently dispatched shard
+	// jobs.
+	WorkerInflight map[string]int64
+}
+
+// Metrics snapshots the coordinator's counters.
+func (c *Coordinator) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		LeasesActive:        c.leasesActive.Load(),
+		RedispatchTotal:     c.redispatch.Load(),
+		ShardsRestoredTotal: c.shardsRestored.Load(),
+		WorkerInflight:      map[string]int64{},
+	}
+	for _, cl := range c.clients {
+		snap.WorkerEjectedTotal += cl.Ejections()
+		snap.WorkerInflight[cl.URL()] = c.inflight[cl.URL()].Load()
+	}
+	return snap
+}
+
+// MetricsHandler serves the coordinator's counters in Prometheus text
+// exposition format, same hand-rolled style as the worker's /metrics.
+func (c *Coordinator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := c.Metrics()
+		var b strings.Builder
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("atpg_fabric_leases_active", "Shards currently dispatched under a live lease.", snap.LeasesActive)
+		counter("atpg_fabric_redispatch_total", "Shard dispatches after the first (lease losses, worker failures).", snap.RedispatchTotal)
+		counter("atpg_fabric_worker_ejected_total", "Circuit-breaker openings across the fleet.", snap.WorkerEjectedTotal)
+		counter("atpg_fabric_shards_restored_total", "Shards restored from the durable journal on coordinator restart.", snap.ShardsRestoredTotal)
+		fmt.Fprintf(&b, "# HELP atpg_fabric_worker_inflight Shard jobs currently dispatched to each worker.\n# TYPE atpg_fabric_worker_inflight gauge\n")
+		workers := make([]string, 0, len(snap.WorkerInflight))
+		for w := range snap.WorkerInflight {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		for _, wk := range workers {
+			fmt.Fprintf(&b, "atpg_fabric_worker_inflight{worker=%q} %d\n", wk, snap.WorkerInflight[wk])
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(b.String()))
+	})
+}

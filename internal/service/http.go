@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -21,8 +22,12 @@ const maxSubmitBytes = 32 << 20
 //	GET  /jobs/{id}/result  final Summary of a done job
 //	GET  /jobs/{id}/vectors generated test vectors of a done job (text)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/shard-result  merge-ready shard result of a done shard job
+//	GET  /jobs/{id}/checkpoint    newest durable campaign checkpoint of a job
 //	GET  /metrics           Prometheus text-format counters and gauges
-//	GET  /healthz           liveness
+//	GET  /healthz           pure liveness (the process is up)
+//	GET  /readyz            readiness: 503 while draining or queue-saturated
+//	GET  /version           build/format handshake for fleet coordinators
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -31,9 +36,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/vectors", s.handleVectors)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/shard-result", s.handleShardResult)
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, Version())
 	})
 	return mux
 }
@@ -46,7 +57,14 @@ func writeBody(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// httpError maps service errors onto status codes.
+// retryAfterQueueFull is the Retry-After hint (in seconds) sent with
+// queue-full 429 responses: long enough for a couple of queued jobs to
+// drain, short enough that a fleet coordinator re-probes promptly.
+const retryAfterQueueFull = 2
+
+// httpError maps service errors onto status codes. Queue-full 429s
+// carry a Retry-After header so fleet clients back off a stated amount
+// instead of guessing (or hammering).
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
@@ -58,6 +76,7 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
 	}
 	writeBody(w, code, map[string]string{"error": err.Error()})
 }
@@ -121,6 +140,65 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(data)
+}
+
+// handleReady serves the readiness probe: 200 with the queue snapshot
+// when the worker can accept jobs, 503 with the same body (and the
+// reason) when it should not be selected.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.Ready()
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+	}
+	writeBody(w, code, st)
+}
+
+// handleShardResult serves the merge-ready shard result of a done
+// shard job: the full per-fault verdicts, tests and stats in the
+// campaign wire format, which is what a coordinator folds into the
+// global Result. Only jobs submitted with a shard selector persist it.
+func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if st.State != Done {
+		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		return
+	}
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, st.ID, "merge.json"))
+	if err != nil {
+		httpError(w, fmt.Errorf("%w: %s has no shard result (not a shard job?)", ErrNotFound, st.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleCheckpoint serves the newest readable generation of a job's
+// campaign checkpoint. The coordinator polls it under the shard lease
+// and caches the bytes durably, so a dead worker's progress can be
+// re-dispatched elsewhere. The current generation may be mid-rotation;
+// fall back to .prev exactly like a local resume would. The payload is
+// CRC-guarded, so the caller validates before trusting it.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	base := filepath.Join(s.dir, st.ID, "checkpoint.json")
+	for _, path := range []string{base, base + ".prev"} {
+		if data, err := s.fs.ReadFile(path); err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+	}
+	httpError(w, fmt.Errorf("%w: %s has no checkpoint yet", ErrNotFound, st.ID))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

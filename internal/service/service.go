@@ -546,6 +546,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	ccfg.CheckpointPath = filepath.Join(s.dir, j.id, "checkpoint.json")
 	ccfg.CheckpointEvery = s.opts.CheckpointEvery
 	ccfg.Resume = true // picks up the checkpoint if one exists, fresh start otherwise
+	s.seedCheckpoint(j, ccfg.CheckpointPath)
 	ccfg.FS = s.fs
 	ccfg.Hook = func(i int, f fault.Fault) {
 		j.attempts.Add(1)
@@ -727,10 +728,46 @@ func (s *Server) settled(id string, st State) {
 	}
 }
 
+// seedCheckpoint installs a coordinator-shipped checkpoint as the
+// job's starting state, so a re-dispatched shard resumes mid-shard on
+// this worker instead of restarting from zero. A checkpoint already on
+// disk wins — it is this worker's own (newer or equal) progress — and
+// a payload that fails validation is skipped with a log line: the
+// campaign then simply starts fresh, which is always sound.
+func (s *Server) seedCheckpoint(j *job, path string) {
+	if len(j.spec.Checkpoint) == 0 {
+		return
+	}
+	if _, err := s.fs.ReadFile(path); err == nil {
+		return
+	}
+	if err := campaign.CheckCheckpointBytes(j.spec.Checkpoint); err != nil {
+		s.logf("job %s: seeded checkpoint rejected, starting fresh: %v", j.id, err)
+		return
+	}
+	if err := ioguard.WriteFileDurable(s.fs, path, j.spec.Checkpoint, 0o644); err != nil {
+		s.logf("job %s: could not install seeded checkpoint, starting fresh: %v", j.id, err)
+		return
+	}
+	s.logf("job %s: resuming from coordinator-shipped checkpoint (%d bytes)", j.id, len(j.spec.Checkpoint))
+}
+
 // persistResult durably writes result.json and the generated vectors.
+// Shard jobs additionally persist merge.json — the full wire-encoded
+// campaign Result the /shard-result endpoint serves for coordinator
+// merging (the Summary is too lossy to merge from).
 func (s *Server) persistResult(j *job, res *campaign.Result, sum *Summary) error {
 	if err := s.writeJSON(filepath.Join(s.dir, j.id, "result.json"), sum); err != nil {
 		return err
+	}
+	if j.spec.Shard != nil {
+		data, err := campaign.EncodeResult(res)
+		if err != nil {
+			return fmt.Errorf("service: encode shard result: %w", err)
+		}
+		if err := ioguard.WriteFileDurable(s.fs, filepath.Join(s.dir, j.id, "merge.json"), data, 0o644); err != nil {
+			return fmt.Errorf("service: persist shard result: %w", err)
+		}
 	}
 	var buf bytes.Buffer
 	if err := sim.WriteVectors(&buf, res.Tests); err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -47,6 +48,30 @@ type Spec struct {
 	FlushCycles int `json:"flush_cycles,omitempty"`
 	// Seed perturbs the engine's randomized phases.
 	Seed int64 `json:"seed,omitempty"`
+	// Shard, when set, restricts the job to one shard of the collapsed
+	// fault universe using campaign.ShardIndices — the exact round-robin
+	// partition campaign.RunSharded uses — and normalizes the campaign
+	// config with campaign.NormalizeForSharding. A fleet coordinator
+	// submits one such job per shard and merges the shard results into a
+	// global Result byte-identical to a single-node sharded run.
+	// Incompatible with Shards > 1 (the worker runs its one shard
+	// sequentially).
+	Shard *ShardSel `json:"shard,omitempty"`
+	// Checkpoint, when non-empty, seeds the job's campaign checkpoint
+	// before the first pass: a coordinator re-dispatching a shard to a
+	// new worker ships the last durable checkpoint it fetched from the
+	// old one, so the new worker resumes mid-shard instead of starting
+	// from zero. The payload must be a structurally valid checkpoint
+	// (version + CRC, enforced at submission); the campaign fingerprint
+	// check at resume time still guards against a checkpoint from a
+	// different circuit, config or fault sublist.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// ShardSel names one shard of a campaign.ShardIndices partition.
+type ShardSel struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 func (s Spec) shardCount() int {
@@ -64,6 +89,9 @@ func (s Spec) describe() string {
 	eng := s.Engine
 	if eng == "" {
 		eng = "hitec"
+	}
+	if s.Shard != nil {
+		return fmt.Sprintf("%s, engine %s, shard %d/%d", name, eng, s.Shard.Index, s.Shard.Count)
 	}
 	return fmt.Sprintf("%s, engine %s, %d shard(s)", name, eng, s.shardCount())
 }
@@ -91,6 +119,25 @@ func Prepare(spec Spec) (*Prepared, error) {
 	}
 	if spec.MaxFaults < 0 {
 		return nil, fmt.Errorf("service: negative max_faults %d", spec.MaxFaults)
+	}
+	if spec.Shard != nil {
+		if spec.Shards > 1 {
+			return nil, fmt.Errorf("service: shard selector and shards=%d are mutually exclusive", spec.Shards)
+		}
+		if spec.Shard.Count < 1 {
+			return nil, fmt.Errorf("service: shard count %d, want >= 1", spec.Shard.Count)
+		}
+		if spec.Shard.Index < 0 || spec.Shard.Index >= spec.Shard.Count {
+			return nil, fmt.Errorf("service: shard index %d out of range [0, %d)", spec.Shard.Index, spec.Shard.Count)
+		}
+	}
+	if len(spec.Checkpoint) > 0 {
+		if spec.Shard == nil {
+			return nil, fmt.Errorf("service: checkpoint seeding requires a shard selector")
+		}
+		if err := campaign.CheckCheckpointBytes(spec.Checkpoint); err != nil {
+			return nil, fmt.Errorf("service: seeded checkpoint: %w", err)
+		}
 	}
 	var c *netlist.Circuit
 	var err error
@@ -140,6 +187,19 @@ func Prepare(spec Spec) (*Prepared, error) {
 		faults = faults[:spec.MaxFaults]
 	}
 	ccfg := campaign.Config{Engine: ecfg, Retries: spec.Retries}
+	if spec.Shard != nil {
+		// Select this worker's sublist with the same partition a local
+		// RunSharded would use, and normalize the config the same way:
+		// both must match exactly or the merged fleet result would
+		// diverge from a single-node run.
+		idxs := campaign.ShardIndices(len(faults), spec.Shard.Count)
+		sub := make([]fault.Fault, 0, len(idxs[spec.Shard.Index]))
+		for _, gi := range idxs[spec.Shard.Index] {
+			sub = append(sub, faults[gi])
+		}
+		faults = sub
+		ccfg = campaign.NormalizeForSharding(ccfg)
+	}
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}

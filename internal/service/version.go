@@ -1,0 +1,95 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"seqatpg/internal/campaign"
+)
+
+// APIVersion is the version of the job-service HTTP API. A fleet
+// coordinator refuses workers whose API version differs from its own:
+// a mixed-version fleet must fail fast at the handshake, not corrupt a
+// merge halfway through a campaign.
+const APIVersion = 1
+
+// VersionInfo is the /version handshake payload: everything a
+// coordinator needs to decide whether this worker can participate in a
+// federated campaign. API and CheckpointFormat must match exactly —
+// the coordinator re-dispatches checkpoints between workers and merges
+// their shard results, both of which silently corrupt across format
+// changes. Build and Go are diagnostics for the startup log and for
+// operators chasing a skewed fleet.
+type VersionInfo struct {
+	Service          string `json:"service"`
+	API              int    `json:"api"`
+	CheckpointFormat int    `json:"checkpoint_format"`
+	ResultWire       int    `json:"result_wire"`
+	Build            string `json:"build,omitempty"`
+	Go               string `json:"go,omitempty"`
+}
+
+// Version reports this build's handshake identity.
+func Version() VersionInfo {
+	v := VersionInfo{
+		Service:          "seqatpg",
+		API:              APIVersion,
+		CheckpointFormat: campaign.CheckpointFormatVersion,
+		ResultWire:       campaign.ResultWireVersion,
+		Go:               runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Build = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				v.Build = s.Value[:12]
+			}
+		}
+	}
+	return v
+}
+
+// ReadyStatus is the /readyz payload: whether this worker should
+// receive new work right now, and why not if not. Liveness stays on
+// /healthz — a draining or saturated worker is still alive, it just
+// must not be handed fresh jobs; this split is what a coordinator's
+// worker selection and any load balancer consult.
+type ReadyStatus struct {
+	Ready        bool   `json:"ready"`
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	RunningJobs  int    `json:"running_jobs"`
+	DegradedJobs int    `json:"degraded_jobs"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+// Ready snapshots the server's readiness: not-ready while draining or
+// while the submission queue is saturated (a submit right now would be
+// rejected with 429 anyway).
+func (s *Server) Ready() ReadyStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ReadyStatus{
+		QueueDepth: len(s.queue),
+		QueueCap:   s.opts.queueCap(),
+		Draining:   s.closed,
+	}
+	for _, j := range s.jobs {
+		if j.state == Running {
+			st.RunningJobs++
+		}
+		if j.degraded.Load() {
+			st.DegradedJobs++
+		}
+	}
+	switch {
+	case st.Draining:
+		st.Reason = "draining"
+	case st.QueueDepth >= st.QueueCap:
+		st.Reason = "queue full"
+	default:
+		st.Ready = true
+	}
+	return st
+}
