@@ -28,6 +28,7 @@ import (
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/reach"
 	"seqatpg/internal/retime"
+	"seqatpg/internal/service"
 )
 
 const (
@@ -46,7 +47,12 @@ func main() {
 func run() int {
 	in := flag.String("in", "", "input netlist")
 	skipReach := flag.Bool("noreach", false, "skip the symbolic reachability analysis")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -in is required")
 		flag.Usage()

@@ -36,6 +36,7 @@ import (
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
+	"seqatpg/internal/service"
 	"seqatpg/internal/sim"
 )
 
@@ -72,7 +73,12 @@ func run() int {
 	sharedLearn := flag.Bool("shared-learn", false, "share the justification cache across faults (implies learning; verdict-preserving under generous budgets)")
 	learnCap := flag.Int("learn-cap", 0, "size bound per learning store, oldest evicted first (0 = default 4096)")
 	obliviousSim := flag.Bool("oblivious-sim", false, "verification mode: re-derive every window simulation with a full oblivious sweep (identical results, slower)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "atpg: -in is required")
 		flag.Usage()

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"seqatpg/internal/fabric"
+	"seqatpg/internal/rescache"
 	"seqatpg/internal/service"
 	"seqatpg/internal/sim"
 )
@@ -89,8 +90,15 @@ func run() int {
 	minFE := flag.Float64("min-fe", 0, "exit with status 3 if final fault efficiency is below this percentage")
 	deadline := flag.Duration("deadline", 0, "stop cooperatively after this wall-clock budget (0 = none)")
 	fsimWorkers := flag.Int("fsim-workers", 0, "merge fault-simulation worker count (0 = 1; results are identical for every value)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed shard-result cache directory (empty = cache off)")
+	cacheCap := flag.Int64("cache-cap", rescache.DefaultCap, "shard-result cache capacity in payload bytes; LRU eviction past it (negative = unbounded)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "coord: -in is required")
 		flag.Usage()
@@ -140,6 +148,17 @@ func run() int {
 		FlushCycles: *flush,
 	}
 
+	var cache *rescache.Cache
+	if *cacheDir != "" {
+		cache, err = rescache.Open(rescache.Options{Dir: *cacheDir, CapBytes: *cacheCap, Logf: log.Printf})
+		if err != nil {
+			log.Print(err)
+			return exitSetup
+		}
+		st := cache.Stats()
+		log.Printf("shard-result cache in %s: %d entries, %d bytes (cap %d)", *cacheDir, st.Entries, st.Bytes, *cacheCap)
+	}
+
 	coord, err := fabric.NewCoordinator(fabric.Options{
 		Workers:       fleet,
 		Shards:        *shards,
@@ -148,6 +167,7 @@ func run() int {
 		MaxRedispatch: *redispatchMax,
 		Dir:           *dir,
 		FsimWorkers:   *fsimWorkers,
+		Cache:         cache,
 		Logf:          log.Printf,
 		Client: fabric.ClientOptions{
 			RetryMax:         *retryMax,
@@ -199,8 +219,8 @@ func run() int {
 	}
 
 	s := res.Stats
-	fmt.Printf("fleet:     %d worker(s), %d shard(s), %d re-dispatch(es), %d ejection(s), %d restored\n",
-		len(fleet), shardCount(*shards, len(fleet)), snap.RedispatchTotal, snap.WorkerEjectedTotal, snap.ShardsRestoredTotal)
+	fmt.Printf("fleet:     %d worker(s), %d shard(s), %d re-dispatch(es), %d ejection(s), %d restored, %d cached\n",
+		len(fleet), shardCount(*shards, len(fleet)), snap.RedispatchTotal, snap.WorkerEjectedTotal, snap.ShardsRestoredTotal, snap.ShardsCachedTotal)
 	fmt.Printf("engine:    %s (%d passes", *engine, res.Passes)
 	if res.Resumed {
 		fmt.Printf(", resumed")

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"seqatpg/internal/bench"
+	"seqatpg/internal/service"
 )
 
 func main() {
@@ -36,7 +37,12 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	quick := flag.Bool("quick", false, "use small smoke-test budgets")
 	deadline := flag.Duration("deadline", 0, "stop cooperatively after this wall-clock budget (0 = none)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return
+	}
 
 	budget := bench.FullBudget()
 	if *quick {

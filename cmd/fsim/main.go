@@ -33,6 +33,7 @@ import (
 
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
+	"seqatpg/internal/service"
 	"seqatpg/internal/sim"
 )
 
@@ -55,7 +56,12 @@ func run() int {
 	tf := flag.String("t", "", "test vector file")
 	vcd := flag.String("vcd", "", "dump a VCD waveform of the first sequence to this path")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker count (results are identical for every value)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *in == "" || *tf == "" {
 		fmt.Fprintln(os.Stderr, "fsim: -in and -t are required")
 		flag.Usage()

@@ -26,6 +26,7 @@ import (
 
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
+	"seqatpg/internal/service"
 )
 
 const (
@@ -46,7 +47,12 @@ func run() int {
 	out := flag.String("o", "", "output netlist path (default: stdout)")
 	rounds := flag.Int("rounds", 2, "backward atomic-move sweeps")
 	minPeriod := flag.Bool("minperiod", false, "minimum-period graph retiming instead of backward sweeps")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "retime: -in is required")
 		flag.Usage()

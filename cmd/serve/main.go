@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"seqatpg/internal/rescache"
 	"seqatpg/internal/service"
 )
 
@@ -60,7 +61,14 @@ func run() int {
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full request including body")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response deadline")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty = cache off)")
+	cacheCap := flag.Int64("cache-cap", rescache.DefaultCap, "result cache capacity in payload bytes; LRU eviction past it (negative = unbounded)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "serve: -dir is required")
 		flag.Usage()
@@ -71,12 +79,25 @@ func run() int {
 		return exitUsage
 	}
 
+	var cache *rescache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = rescache.Open(rescache.Options{Dir: *cacheDir, CapBytes: *cacheCap, Logf: log.Printf})
+		if err != nil {
+			log.Print(err)
+			return exitSetup
+		}
+		st := cache.Stats()
+		log.Printf("result cache in %s: %d entries, %d bytes (cap %d)", *cacheDir, st.Entries, st.Bytes, *cacheCap)
+	}
+
 	srv, err := service.New(*dir, service.Options{
 		Workers:         *workers,
 		CheckpointEvery: *every,
 		QueueCap:        *queueCap,
 		StuckTimeout:    *stuckTimeout,
 		Logf:            log.Printf,
+		Cache:           cache,
 	})
 	if err != nil {
 		log.Print(err)

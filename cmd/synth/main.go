@@ -27,6 +27,7 @@ import (
 	"seqatpg/internal/encode"
 	"seqatpg/internal/fsm"
 	"seqatpg/internal/netlist"
+	"seqatpg/internal/service"
 	"seqatpg/internal/synth"
 )
 
@@ -53,7 +54,12 @@ func run() int {
 	minimize := flag.Bool("minimize", true, "run state minimization before synthesis")
 	out := flag.String("o", "", "output netlist path (default: stdout)")
 	dot := flag.String("dot", "", "also write the state transition graph in Graphviz DOT format")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitOK
+	}
 
 	var m *fsm.FSM
 	var err error

@@ -25,6 +25,7 @@ import (
 
 	"seqatpg/internal/netlist"
 	"seqatpg/internal/retime"
+	"seqatpg/internal/service"
 	"seqatpg/internal/verify"
 )
 
@@ -45,7 +46,12 @@ func run() int {
 	aPath := flag.String("a", "", "first netlist")
 	bPath := flag.String("b", "", "second netlist")
 	flush := flag.Int("flush", 0, "reset-hold cycles (default: measured from the circuits)")
+	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.Version())
+		return exitEquivalent
+	}
 	if *aPath == "" || *bPath == "" {
 		fmt.Fprintln(os.Stderr, "verify: -a and -b are required")
 		flag.Usage()

@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"seqatpg/internal/campaign"
+	"seqatpg/internal/rescache"
+	"seqatpg/internal/service"
+)
+
+// TestFabricShardResultCache is the cross-campaign dedupe story at the
+// fleet level: a second coordinator running the identical campaign
+// against a shared result cache serves every shard from the cache —
+// no jobs reach the workers — and merges to a result byte-identical
+// to the first run's.
+func TestFabricShardResultCache(t *testing.T) {
+	cache, err := rescache.Open(rescache.Options{Dir: t.TempDir(), CapBytes: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := startWorker(t, nil), startWorker(t, nil)
+	spec := service.Spec{Name: "cache-fed", Netlist: benchText(t, 5, 9), MaxFaults: 8}
+	const shards = 3
+
+	run := func() *campaign.Result {
+		t.Helper()
+		coord, err := NewCoordinator(Options{
+			Workers:   []string{w0.url(), w1.url()},
+			Shards:    shards,
+			Lease:     5 * time.Second,
+			Heartbeat: 10 * time.Millisecond,
+			Cache:     cache,
+			Client:    chaosClientOptions(),
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coord.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := coord.Metrics()
+		t.Logf("run: %d shards cached, cache stats %+v", snap.ShardsCachedTotal, cache.Stats())
+		if res2 := snap.ShardsCachedTotal; cache.Stats().Hits > 0 && res2 != shards {
+			t.Fatalf("warm run served %d shards from the cache, want %d", res2, shards)
+		}
+		return res
+	}
+
+	cold := run()
+	if got := cache.Stats(); got.Stored != shards {
+		t.Fatalf("cold run stored %d shard results, want %d", got.Stored, shards)
+	}
+	jobsAfterCold := len(w0.srv.List()) + len(w1.srv.List())
+
+	warm := run()
+	if got := len(w0.srv.List()) + len(w1.srv.List()); got != jobsAfterCold {
+		t.Fatalf("warm run dispatched %d jobs to the fleet, want 0", got-jobsAfterCold)
+	}
+	if got := cache.Stats(); got.Hits != shards {
+		t.Fatalf("warm run hit %d entries, want %d", got.Hits, shards)
+	}
+
+	coldB, err := campaign.EncodeResult(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, err := campaign.EncodeResult(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldB, warmB) {
+		t.Fatal("cache-served federated result is not byte-identical to the cold run")
+	}
+	assertConverged(t, warm, reference(t, spec, shards))
+}

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"seqatpg/internal/campaign"
+	"seqatpg/internal/fault"
 	"seqatpg/internal/ioguard"
+	"seqatpg/internal/rescache"
 	"seqatpg/internal/service"
 )
 
@@ -64,6 +66,12 @@ type Options struct {
 	// FS is the filesystem seam for Dir (fault injection in tests);
 	// nil selects the real one.
 	FS ioguard.FS
+	// Cache, when set, memoizes finished shard wire results by content
+	// digest. Unlike the journal (bound to one campaign fingerprint and
+	// shard count), the cache is cross-campaign: a repeated submission,
+	// or a different shard count whose round-robin sublists happen to
+	// align, skips every shard whose digest is already stored.
+	Cache *rescache.Cache
 	// OnShardCheckpoint, if set, is called after a shard checkpoint has
 	// been fetched, validated and cached. Chaos tests hang precise
 	// kill-points off it.
@@ -118,6 +126,7 @@ type Coordinator struct {
 	leasesActive   atomic.Int64
 	redispatch     atomic.Int64
 	shardsRestored atomic.Int64
+	shardsCached   atomic.Int64
 	inflight       map[string]*atomic.Int64 // worker URL -> running shard jobs
 }
 
@@ -202,6 +211,7 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*campaign.Res
 		return nil, err
 	}
 
+	digests := c.shardDigests(p, ccfg, idxs)
 	results := make([]*campaign.Result, c.opts.Shards)
 	errs := make([]error, c.opts.Shards)
 	var wg sync.WaitGroup
@@ -214,10 +224,19 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*campaign.Res
 			results[k] = res
 			continue
 		}
+		if res := c.cachedShardResult(digests[k], len(idxs[k])); res != nil {
+			c.logf("fabric: shard %d/%d served from the result cache", k, c.opts.Shards)
+			results[k] = res
+			c.recordDone(k, res)
+			continue
+		}
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
 			results[k], errs[k] = c.runShard(ctx, spec, k, len(idxs[k]))
+			if errs[k] == nil && results[k] != nil {
+				c.storeShardResult(digests[k], results[k])
+			}
 		}(k)
 	}
 	wg.Wait()
@@ -234,6 +253,67 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*campaign.Res
 		}
 	}
 	return merged, nil
+}
+
+// shardDigests derives each shard's content address from its exact
+// fault sublist and the normalized config — the same inputs the shard
+// job computes from, so the digest is shard-count-agnostic: any
+// partition producing the same sublist shares the cache entry.
+func (c *Coordinator) shardDigests(p *service.Prepared, ccfg campaign.Config, idxs [][]int) []string {
+	digests := make([]string, len(idxs))
+	if c.opts.Cache == nil {
+		return digests
+	}
+	for k, ix := range idxs {
+		if len(ix) == 0 {
+			continue
+		}
+		sub := make([]fault.Fault, 0, len(ix))
+		for _, gi := range ix {
+			sub = append(sub, p.Faults[gi])
+		}
+		digests[k] = rescache.Digest(p.Circuit, ccfg, sub, "wire-shard")
+	}
+	return digests
+}
+
+// cachedShardResult consults the cross-campaign result cache for a
+// finished shard's wire result. Anything unusable — undecodable
+// bytes, wrong fault count, an interrupted run — is treated as a
+// plain miss; the shard is then dispatched normally.
+func (c *Coordinator) cachedShardResult(digest string, wantFaults int) *campaign.Result {
+	if c.opts.Cache == nil || digest == "" {
+		return nil
+	}
+	files, ok := c.opts.Cache.Get(digest)
+	if !ok {
+		return nil
+	}
+	res, err := campaign.DecodeResult(files["merge.json"])
+	if err != nil || len(res.Outcomes) != wantFaults || res.Interrupted {
+		c.logf("fabric: ignoring unusable cached shard result %.12s", digest)
+		return nil
+	}
+	c.shardsCached.Add(1)
+	return res
+}
+
+// storeShardResult publishes a pristine finished shard wire result to
+// the cross-campaign cache. Resumed, degraded and interrupted results
+// are skipped: they reach the same verdicts but are not the canonical
+// bytes of a cold shard run.
+func (c *Coordinator) storeShardResult(digest string, res *campaign.Result) {
+	if c.opts.Cache == nil || digest == "" || res.Resumed || res.Degraded || res.Interrupted {
+		return
+	}
+	data, err := campaign.EncodeResult(res)
+	if err != nil {
+		c.logf("fabric: encoding shard result for the cache failed: %v", err)
+		return
+	}
+	if err := c.opts.Cache.Put(digest, map[string][]byte{"merge.json": data}); err != nil {
+		c.logf("fabric: caching shard result failed: %v", err)
+	}
 }
 
 // handshake verifies every worker speaks this coordinator's formats

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"seqatpg/internal/rescache"
 )
 
 // MetricsSnapshot is a point-in-time view of the coordinator's fleet
@@ -22,6 +24,9 @@ type MetricsSnapshot struct {
 	// ShardsRestoredTotal counts shards whose finished results were
 	// restored from the durable journal instead of re-run.
 	ShardsRestoredTotal int64
+	// ShardsCachedTotal counts shards served from the content-addressed
+	// result cache instead of dispatched.
+	ShardsCachedTotal int64
 	// WorkerInflight maps worker URL to its currently dispatched shard
 	// jobs.
 	WorkerInflight map[string]int64
@@ -33,6 +38,7 @@ func (c *Coordinator) Metrics() MetricsSnapshot {
 		LeasesActive:        c.leasesActive.Load(),
 		RedispatchTotal:     c.redispatch.Load(),
 		ShardsRestoredTotal: c.shardsRestored.Load(),
+		ShardsCachedTotal:   c.shardsCached.Load(),
 		WorkerInflight:      map[string]int64{},
 	}
 	for _, cl := range c.clients {
@@ -58,6 +64,16 @@ func (c *Coordinator) MetricsHandler() http.Handler {
 		counter("atpg_fabric_redispatch_total", "Shard dispatches after the first (lease losses, worker failures).", snap.RedispatchTotal)
 		counter("atpg_fabric_worker_ejected_total", "Circuit-breaker openings across the fleet.", snap.WorkerEjectedTotal)
 		counter("atpg_fabric_shards_restored_total", "Shards restored from the durable journal on coordinator restart.", snap.ShardsRestoredTotal)
+		counter("atpg_fabric_shards_cached_total", "Shards served from the content-addressed result cache instead of dispatched.", snap.ShardsCachedTotal)
+		var cs rescache.Stats
+		if c.opts.Cache != nil {
+			cs = c.opts.Cache.Stats()
+		}
+		counter("atpg_cache_hits_total", "Result-cache lookups served from a stored entry.", cs.Hits)
+		counter("atpg_cache_misses_total", "Result-cache lookups that fell through to a dispatch.", cs.Misses)
+		counter("atpg_cache_evictions_total", "Result-cache entries evicted to stay under the capacity bound.", cs.Evictions)
+		counter("atpg_cache_quarantined_total", "Corrupt result-cache entries quarantined and treated as misses.", cs.Quarantined)
+		gauge("atpg_cache_bytes", "Payload bytes currently stored in the result cache.", cs.Bytes)
 		fmt.Fprintf(&b, "# HELP atpg_fabric_worker_inflight Shard jobs currently dispatched to each worker.\n# TYPE atpg_fabric_worker_inflight gauge\n")
 		workers := make([]string, 0, len(snap.WorkerInflight))
 		for w := range snap.WorkerInflight {

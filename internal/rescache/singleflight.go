@@ -1,0 +1,47 @@
+package rescache
+
+import "sync"
+
+// Singleflight collapses concurrent work on the same digest: the
+// first claimant becomes the leader and actually runs, later
+// claimants are parked as followers until the leader ends the flight.
+// Unlike the classic blocking singleflight, nothing waits inside this
+// type — End hands the follower identities back to the caller, which
+// re-queues them to consume the leader's (now cached) result. That
+// keeps a bounded worker pool safe: a parked follower frees its
+// worker instead of blocking it on a leader that may need the same
+// pool to finish.
+type Singleflight struct {
+	mu      sync.Mutex
+	flights map[string][]string // digest -> parked follower owners
+}
+
+// Begin claims digest for owner. The first claimant is the leader and
+// gets true; every later claimant is parked as a follower and gets
+// false.
+func (g *Singleflight) Begin(digest, owner string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.flights == nil {
+		g.flights = map[string][]string{}
+	}
+	followers, ok := g.flights[digest]
+	if !ok {
+		g.flights[digest] = nil
+		return true
+	}
+	g.flights[digest] = append(followers, owner)
+	return false
+}
+
+// End closes the flight and returns the parked followers, in arrival
+// order. Only the leader calls End, exactly once, however its run
+// ended — the followers must be released even when the leader failed,
+// so one of them can take over.
+func (g *Singleflight) End(digest string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	followers := g.flights[digest]
+	delete(g.flights, digest)
+	return followers
+}

@@ -1,0 +1,496 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqatpg/internal/campaign"
+	"seqatpg/internal/rescache"
+)
+
+func openCache(t *testing.T, capBytes int64) *rescache.Cache {
+	t.Helper()
+	c, err := rescache.Open(rescache.Options{Dir: t.TempDir(), CapBytes: capBytes, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// waitCache polls the cache stats until pred holds: a job reports
+// Done before its worker's cacheStore finishes, so tests that inspect
+// the store (or depend on the next submission hitting) wait here.
+func waitCache(t *testing.T, cache *rescache.Cache, what string, pred func(rescache.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !pred(cache.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never reached %s: %+v", what, cache.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func readArtifacts(t *testing.T, dir, id string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{"result.json", "vectors.vec", "terminal.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, id, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestCacheHitByteIdentityAndETag pins the cache's contract over the
+// HTTP surface: a repeated submission completes from the cache with
+// artifacts byte-identical to the cold run's, both expose the same
+// digest, GET /result carries it as an ETag, and If-None-Match
+// revalidation gets a 304.
+func TestCacheHitByteIdentityAndETag(t *testing.T) {
+	dir := t.TempDir()
+	cache := openCache(t, -1)
+	srv, err := New(dir, Options{Workers: 2, CheckpointEvery: time.Millisecond, Cache: cache, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := Spec{Name: "etag-cold", Netlist: benchText(t, 6, 11), MaxFaults: 20, FaultBudget: 200_000}
+	cold := postJob(t, ts.URL, spec)
+	waitStatus(t, ts.URL, cold, 2*time.Minute, "done", func(st JobStatus) bool { return st.State == Done })
+	waitCache(t, cache, "1 stored entry", func(st rescache.Stats) bool { return st.Stored == 1 })
+
+	spec.Name = "etag-hit" // Name is non-semantic: same digest
+	hit := postJob(t, ts.URL, spec)
+	waitStatus(t, ts.URL, hit, time.Minute, "done", func(st JobStatus) bool { return st.State == Done })
+
+	if st := cache.Stats(); st.Hits < 1 || st.Stored != 1 {
+		t.Fatalf("cache stats after repeat = %+v, want >=1 hit of 1 stored entry", st)
+	}
+	stCold, stHit := getStatus(t, ts.URL, cold), getStatus(t, ts.URL, hit)
+	if stCold.Digest == "" || stCold.Digest != stHit.Digest {
+		t.Fatalf("digests cold=%q hit=%q, want equal and non-empty", stCold.Digest, stHit.Digest)
+	}
+	if !reflect.DeepEqual(stCold.Result, stHit.Result) {
+		t.Errorf("summaries differ:\ncold %+v\nhit  %+v", stCold.Result, stHit.Result)
+	}
+	a, b := readArtifacts(t, dir, cold), readArtifacts(t, dir, hit)
+	for _, name := range []string{"result.json", "vectors.vec", "terminal.json"} {
+		if !bytes.Equal(a[name], b[name]) {
+			t.Errorf("%s differs between the cold run and the cache hit", name)
+		}
+	}
+
+	// ETag surface on both jobs: the digest, quoted.
+	wantTag := `"` + stCold.Digest + `"`
+	for _, id := range []string{cold, hit} {
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("ETag"); got != wantTag {
+			t.Errorf("job %s ETag = %q, want %q", id, got, wantTag)
+		}
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/jobs/"+hit+"/result", nil)
+	req.Header.Set("If-None-Match", wantTag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || n != 0 {
+		t.Errorf("If-None-Match revalidation: status %d with %d body bytes, want 304 empty", resp.StatusCode, n)
+	}
+	req.Header.Set("If-None-Match", `"deadbeef"`)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCacheSingleflightRace floods a cache-backed server with
+// identical submissions and holds the first campaign mid-run: exactly
+// one campaign may execute, the rest must park and then complete from
+// the leader's stored result, byte-identical.
+func TestCacheSingleflightRace(t *testing.T) {
+	dir := t.TempDir()
+	cache := openCache(t, -1)
+	srv, err := New(dir, Options{Workers: 4, CheckpointEvery: time.Millisecond, Cache: cache, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	var runs atomic.Int64
+	release := make(chan struct{})
+	srv.testRunCampaign = func(ctx context.Context, j *job, ccfg campaign.Config) (*campaign.Result, error) {
+		runs.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		res, err := campaign.Run(context.Background(), mustPrepare(t, j.spec).Circuit, mustPrepare(t, j.spec).Faults, ccfg)
+		return res, err
+	}
+
+	const jobs = 8
+	spec := Spec{Netlist: benchText(t, 5, 21), MaxFaults: 10, FaultBudget: 200_000}
+	ids := make([]string, jobs)
+	for i := range ids {
+		id, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// Wait until the leader is inside the campaign and every other job
+	// has been parked by the singleflight (state Queued, out of the
+	// queue) — only then is the race window fully populated.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		srv.mu.Lock()
+		var running, queued int
+		for _, j := range srv.jobs {
+			switch j.state {
+			case Running:
+				running++
+			case Queued:
+				queued++
+			}
+		}
+		drained := len(srv.queue) == 0
+		srv.mu.Unlock()
+		if runs.Load() == 1 && running == 1 && queued == jobs-1 && drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never converged: %d runs, %d running, %d parked", runs.Load(), running, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	waitJobs(t, srv, time.Minute, func(st JobStatus) bool { return st.State == Done })
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d campaigns ran for %d identical submissions, want exactly 1", got, jobs)
+	}
+	if st := cache.Stats(); st.Stored != 1 || st.Hits != jobs-1 {
+		t.Fatalf("cache stats = %+v, want 1 stored entry and %d hits", st, jobs-1)
+	}
+	want := readArtifacts(t, dir, ids[0])
+	for _, id := range ids[1:] {
+		got := readArtifacts(t, dir, id)
+		for name, data := range want {
+			if !bytes.Equal(got[name], data) {
+				t.Errorf("job %s: %s differs from the leader's", id, name)
+			}
+		}
+	}
+}
+
+func mustPrepare(t *testing.T, spec Spec) *Prepared {
+	t.Helper()
+	p, err := Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheChaosCorruptEntryColdRun is the cache's crash-consistency
+// story end to end: a stored entry is corrupted on disk, the repeat
+// submission quarantines it, falls through to a correct cold run, and
+// the digest is re-cached for the next repeat.
+func TestCacheChaosCorruptEntryColdRun(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := t.TempDir()
+	cache, err := rescache.Open(rescache.Options{Dir: cacheDir, CapBytes: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(dir, Options{Workers: 1, CheckpointEvery: time.Millisecond, Cache: cache, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	spec := Spec{Netlist: benchText(t, 6, 17), MaxFaults: 15, FaultBudget: 200_000}
+	cold, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, srv, 2*time.Minute, func(st JobStatus) bool { return st.State == Done })
+	waitCache(t, cache, "1 stored entry", func(st rescache.Stats) bool { return st.Stored == 1 })
+
+	// Tear the stored entry's payload the way a half-written or
+	// bit-rotted disk would.
+	ents, err := filepath.Glob(filepath.Join(cacheDir, "ent-*", "result.json"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("stored entries = %v (err %v), want exactly one", ents, err)
+	}
+	data, err := os.ReadFile(ents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(ents[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rerun, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, srv, 2*time.Minute, func(st JobStatus) bool { return st.State == Done })
+	waitCache(t, cache, "the re-stored entry", func(st rescache.Stats) bool { return st.Stored == 2 })
+
+	st := cache.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("cache stats = %+v, want the corrupt entry quarantined", st)
+	}
+	if quar, _ := filepath.Glob(filepath.Join(cacheDir, "quar-*")); len(quar) != 1 {
+		t.Errorf("quarantine dirs = %v, want exactly one", quar)
+	}
+	// The cold re-run reproduced the original result bit for bit, and
+	// re-stored it.
+	a, b := readArtifacts(t, dir, cold), readArtifacts(t, dir, rerun)
+	if !bytes.Equal(a["result.json"], b["result.json"]) || !bytes.Equal(a["vectors.vec"], b["vectors.vec"]) {
+		t.Error("cold re-run after quarantine produced different artifacts")
+	}
+	if st.Stored != 2 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want the digest re-stored after quarantine", st)
+	}
+	third, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobs(t, srv, time.Minute, func(st JobStatus) bool { return st.State == Done })
+	if got, _ := srv.Status(third); got.State != Done {
+		t.Fatalf("third submission: %+v", got)
+	}
+	if cache.Stats().Hits < 1 {
+		t.Error("re-stored entry never served a hit")
+	}
+}
+
+// TestJSONErrorContentType sweeps the error surface — handler-level
+// rejections and mux-level 404/405 alike — and requires every error
+// response to be application/json with the {"error": ...} shape.
+func TestJSONErrorContentType(t *testing.T) {
+	srv, err := New(t.TempDir(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/jobs/j009999", "", http.StatusNotFound},
+		{"GET", "/jobs/j009999/result", "", http.StatusNotFound},
+		{"POST", "/jobs", "{not json", http.StatusBadRequest},
+		{"GET", "/no/such/route", "", http.StatusNotFound},   // mux-level 404
+		{"DELETE", "/jobs", "", http.StatusMethodNotAllowed}, // mux-level 405
+		{"PUT", "/version", "", http.StatusMethodNotAllowed}, // mux-level 405
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type %q, want application/json", c.method, c.path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: body %q is not an {\"error\": ...} document (%v)", c.method, c.path, buf.String(), err)
+		}
+	}
+}
+
+// TestCacheReplay is the traffic-replay harness from the issue: a
+// Zipf-skewed stream of submissions against a capacity-bounded cache.
+// It asserts the hit rate the dedupe story promises (>= 50%), that
+// the cache never exceeds its byte cap at any point in the replay,
+// and that every hit serves bytes identical to the cold run that
+// populated its digest. With BENCH_CACHE_OUT set it writes the replay
+// summary (hit rate, latency percentiles, eviction count) as JSON.
+func TestCacheReplay(t *testing.T) {
+	requests := 60
+	if testing.Short() {
+		requests = 36
+	}
+	const distinct = 8
+	// Sized so the popular head of the Zipf mix stays resident but the
+	// tail has to fight for space — evictions and hits at once. An
+	// entry for these campaigns runs ~600 payload bytes, so the cap
+	// holds roughly five of the eight distinct entries.
+	const capBytes = 3 << 10
+
+	dir := t.TempDir()
+	cache, err := rescache.Open(rescache.Options{Dir: t.TempDir(), CapBytes: capBytes, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(dir, Options{Workers: 2, CheckpointEvery: time.Millisecond, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := make([]Spec, distinct)
+	for i := range specs {
+		specs[i] = Spec{
+			Name:        fmt.Sprintf("replay-%d", i),
+			Netlist:     benchText(t, 4+i%4, int64(31+i)),
+			MaxFaults:   12 + i,
+			FaultBudget: 200_000,
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, distinct-1)
+	golden := map[string]map[string][]byte{} // digest -> first-run artifacts
+	var latencies []time.Duration
+	var coldLat, hitLat []time.Duration
+	var hits int
+
+	for n := 0; n < requests; n++ {
+		spec := specs[zipf.Uint64()]
+		before := cache.Stats()
+		start := time.Now()
+		id := postJob(t, ts.URL, spec)
+		st := waitStatus(t, ts.URL, id, 2*time.Minute, "done", func(st JobStatus) bool { return st.State == Done })
+		lat := time.Since(start)
+		latencies = append(latencies, lat)
+
+		// Done precedes the worker's asynchronous store; settle before
+		// classifying this request and issuing the next, so a repeat of
+		// this spec deterministically sees the entry.
+		waitCache(t, cache, "this request settling", func(cs rescache.Stats) bool {
+			return cs.Hits > before.Hits || cs.Stored > before.Stored
+		})
+		cs := cache.Stats()
+		if cs.Bytes > capBytes {
+			t.Fatalf("request %d: cache holds %d bytes, cap is %d", n, cs.Bytes, capBytes)
+		}
+		if cs.Hits > before.Hits {
+			hits++
+			hitLat = append(hitLat, lat)
+		} else {
+			coldLat = append(coldLat, lat)
+		}
+		if st.Digest == "" {
+			t.Fatalf("request %d: job %s has no digest", n, id)
+		}
+		// Byte-identity across the whole replay for the semantic
+		// artifacts. terminal.json is excluded here: an entry evicted
+		// and re-populated by a cold re-run carries that run's finish
+		// time (the hit-path test pins terminal.json verbatim).
+		arts := readArtifacts(t, dir, id)
+		if want, ok := golden[st.Digest]; ok {
+			for _, name := range []string{"result.json", "vectors.vec"} {
+				if !bytes.Equal(arts[name], want[name]) {
+					t.Fatalf("request %d: %s differs from the first run of digest %.12s", n, name, st.Digest)
+				}
+			}
+		} else {
+			golden[st.Digest] = arts
+		}
+	}
+
+	rate := float64(hits) / float64(requests)
+	final := cache.Stats()
+	t.Logf("replay: %d requests over %d campaigns: %d hits (%.0f%%), %d evictions, %d bytes resident (cap %d)",
+		requests, distinct, hits, 100*rate, final.Evictions, final.Bytes, capBytes)
+	t.Logf("latency: all P50 %v P99 %v, cold P50 %v, hit P50 %v",
+		pctl(latencies, 50), pctl(latencies, 99), pctl(coldLat, 50), pctl(hitLat, 50))
+	if rate < 0.5 {
+		t.Errorf("hit rate %.2f, want >= 0.50", rate)
+	}
+
+	if out := os.Getenv("BENCH_CACHE_OUT"); out != "" {
+		report := map[string]any{
+			"requests":       requests,
+			"distinct":       distinct,
+			"zipf_s":         1.3,
+			"hits":           hits,
+			"hit_rate":       rate,
+			"evictions":      final.Evictions,
+			"quarantined":    final.Quarantined,
+			"cap_bytes":      capBytes,
+			"resident_bytes": final.Bytes,
+			"p50_ms":         float64(pctl(latencies, 50)) / 1e6,
+			"p99_ms":         float64(pctl(latencies, 99)) / 1e6,
+			"cold_p50_ms":    float64(pctl(coldLat, 50)) / 1e6,
+			"cold_p99_ms":    float64(pctl(coldLat, 99)) / 1e6,
+			"hit_p50_ms":     float64(pctl(hitLat, 50)) / 1e6,
+			"hit_p99_ms":     float64(pctl(hitLat, 99)) / 1e6,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// pctl is the nearest-rank percentile of a latency sample.
+func pctl(sample []time.Duration, p int) time.Duration {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	k := (p*len(s) + 99) / 100
+	if k < 1 {
+		k = 1
+	}
+	return s[k-1]
+}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"seqatpg/internal/rescache"
 )
 
 // maxSubmitBytes bounds a job submission body; netlists in this
@@ -46,7 +48,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, Version())
 	})
-	return mux
+	return JSONErrors(mux)
+}
+
+// JSONErrors rewrites the plain-text 404/405 responses http.ServeMux
+// generates itself (unknown endpoint, wrong method) into this API's
+// JSON error shape, so every error response a client sees carries
+// Content-Type: application/json. Handler-written errors already do
+// (they go through writeBody) and pass through untouched.
+func JSONErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercept bool
+	wrote     bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	ct := w.Header().Get("Content-Type")
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(ct, "application/json") {
+		w.intercept = true
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if !w.intercept {
+		return w.ResponseWriter.Write(p)
+	}
+	// Replace the mux's text body ("404 page not found") with the JSON
+	// error shape; report the original length so the mux never sees a
+	// short write.
+	if !w.wrote {
+		w.wrote = true
+		body, err := json.Marshal(map[string]string{"error": strings.TrimSpace(string(p))})
+		if err != nil {
+			return w.ResponseWriter.Write(p)
+		}
+		if _, err := w.ResponseWriter.Write(append(body, '\n')); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
 }
 
 func writeBody(w http.ResponseWriter, code int, v any) {
@@ -120,7 +169,39 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
 		return
 	}
+	if et := resultETag(st); et != "" {
+		w.Header().Set("ETag", et)
+		if etagMatch(r.Header.Get("If-None-Match"), et) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	writeBody(w, http.StatusOK, st.Result)
+}
+
+// resultETag is the validator for a done job's result: the job's
+// content digest in the result cache. It is only issued when the
+// result is canonical for that digest — a resumed or degraded run
+// reaches the same verdicts but carries its own Summary fields, and
+// must not be conflated with the representation a cold run serves.
+func resultETag(st JobStatus) string {
+	if st.Digest == "" || st.Result == nil || st.Result.Resumed || st.Result.Degraded {
+		return ""
+	}
+	return `"` + st.Digest + `"`
+}
+
+// etagMatch implements the If-None-Match comparison: the * wildcard,
+// or any listed entity-tag equal to etag (GET uses the weak
+// comparison, so W/ prefixes are ignored).
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +343,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("atpg_submit_rejected_total", "Submissions rejected because the queue was full.", m.rejected.Load())
 	counter("atpg_jobs_quarantined_total", "Jobs quarantined during recovery for unreadable on-disk state.", m.quarantined.Load())
 	counter("atpg_watchdog_trips_total", "Running jobs interrupted by the stuck-progress watchdog.", m.watchdogTrips.Load())
+	var cs rescache.Stats
+	if s.opts.Cache != nil {
+		cs = s.opts.Cache.Stats()
+	}
+	counter("atpg_cache_hits_total", "Result-cache lookups served from a stored entry.", cs.Hits)
+	counter("atpg_cache_misses_total", "Result-cache lookups that fell through to a cold run.", cs.Misses)
+	counter("atpg_cache_evictions_total", "Result-cache entries evicted to stay under the capacity bound.", cs.Evictions)
+	counter("atpg_cache_quarantined_total", "Corrupt result-cache entries quarantined and treated as misses.", cs.Quarantined)
+	gauge("atpg_cache_bytes", "Payload bytes currently stored in the result cache.", cs.Bytes)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

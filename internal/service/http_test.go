@@ -350,6 +350,13 @@ func TestMetricsReconcile(t *testing.T) {
 		{`atpg_submit_rejected_total`, 0},
 		{`atpg_jobs_quarantined_total`, 0},
 		{`atpg_watchdog_trips_total`, 0},
+		// The cache metric family is emitted even with no cache
+		// configured, so dashboards never see the series appear late.
+		{`atpg_cache_hits_total`, 0},
+		{`atpg_cache_misses_total`, 0},
+		{`atpg_cache_evictions_total`, 0},
+		{`atpg_cache_quarantined_total`, 0},
+		{`atpg_cache_bytes`, 0},
 	}
 	for _, c := range checks {
 		got, ok := m[c.name]

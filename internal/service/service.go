@@ -36,6 +36,7 @@ import (
 	"seqatpg/internal/campaign"
 	"seqatpg/internal/fault"
 	"seqatpg/internal/ioguard"
+	"seqatpg/internal/rescache"
 	"seqatpg/internal/sim"
 )
 
@@ -58,8 +59,10 @@ func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancell
 // transitions is the lifecycle FSM. Running → Queued is the drain
 // edge: a server going down interrupts its running jobs (they
 // checkpoint) and leaves them resumable for the next process.
+// Queued → Done is the cache edge: a submission whose digest is
+// already in the result cache completes without ever running.
 var transitions = map[State]map[State]bool{
-	Queued:  {Running: true, Cancelled: true},
+	Queued:  {Running: true, Cancelled: true, Done: true},
 	Running: {Done: true, Failed: true, Cancelled: true, Queued: true},
 }
 
@@ -98,6 +101,13 @@ type Options struct {
 	// selects the real one. Fault-injection tests substitute an
 	// ioguard.FaultFS.
 	FS ioguard.FS
+	// Cache, when set, memoizes finished job artifacts by content
+	// digest: a submission whose digest is stored completes immediately
+	// with artifacts byte-identical to the cold run that stored them,
+	// and concurrent identical submissions collapse to one campaign
+	// run. Checkpoint-seeded shard jobs bypass the cache (their results
+	// carry Resumed and must not alias a fresh run's bytes).
+	Cache *rescache.Cache
 }
 
 func (o Options) queueCap() int {
@@ -136,6 +146,7 @@ type job struct {
 	result      *Summary
 	totalFaults int
 	quarantined bool
+	digest      string             // content address; empty = uncacheable
 	cancel      context.CancelFunc // non-nil exactly while running
 }
 
@@ -156,13 +167,16 @@ type JobStatus struct {
 	// Degraded reports that checkpoint persistence has failed at least
 	// once for this job: compute continues, but an interruption now
 	// loses more progress than CheckpointEvery promises.
-	Degraded           bool     `json:"degraded,omitempty"`
-	CheckpointFailures int64    `json:"checkpoint_failures,omitempty"`
-	Quarantined        bool     `json:"quarantined,omitempty"`
-	Shards             int      `json:"shards,omitempty"`
-	Runs               int      `json:"runs,omitempty"` // diagnostics: pickups by this process
-	Log                []string `json:"log,omitempty"`
-	Result             *Summary `json:"result,omitempty"`
+	Degraded           bool  `json:"degraded,omitempty"`
+	CheckpointFailures int64 `json:"checkpoint_failures,omitempty"`
+	Quarantined        bool  `json:"quarantined,omitempty"`
+	Shards             int   `json:"shards,omitempty"`
+	Runs               int   `json:"runs,omitempty"` // diagnostics: pickups by this process
+	// Digest is the job's content address in the result cache; it
+	// doubles as the ETag of GET /result. Empty for uncacheable jobs.
+	Digest string   `json:"digest,omitempty"`
+	Log    []string `json:"log,omitempty"`
+	Result *Summary `json:"result,omitempty"`
 }
 
 // Server is the job service: store, queue and worker pool.
@@ -184,6 +198,9 @@ type Server struct {
 	wg   sync.WaitGroup
 
 	metrics counters
+	// flight collapses concurrent runs of the same digest; only
+	// consulted when a result cache is configured.
+	flight rescache.Singleflight
 
 	// testJobSettled, when set (tests only), fires after a job leaves
 	// the Running state for any reason.
@@ -236,6 +253,9 @@ type jobFile struct {
 	ID      string    `json:"id"`
 	Spec    Spec      `json:"spec"`
 	Created time.Time `json:"created"`
+	// Digest is the job's content address, recorded so ETags and cache
+	// stores survive a restart; absent in records from older builds.
+	Digest string `json:"digest,omitempty"`
 }
 
 // terminalFile marks a finished lifecycle; its absence after a restart
@@ -295,7 +315,7 @@ func (s *Server) recoverJob(name string) (*job, bool) {
 	if jf.ID != name {
 		return s.quarantine(name, jf.Spec, fmt.Sprintf("directory holds job %q", jf.ID)), true
 	}
-	j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued}
+	j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued, digest: jf.Digest}
 	j.logs.max = s.opts.LogTail
 	var tf terminalFile
 	switch err := readJSON(s.fs, filepath.Join(s.dir, j.id, "terminal.json"), &tf); {
@@ -370,32 +390,181 @@ func (s *Server) logf(format string, args ...any) {
 
 // Submit validates the spec (including parsing the netlist), persists
 // the job and enqueues it. The returned id is stable across restarts.
+// When the result cache holds the spec's digest, the job completes at
+// submission — it never occupies the queue or a worker, and a full
+// queue does not reject it.
 func (s *Server) Submit(spec Spec) (string, error) {
-	if _, err := Prepare(spec); err != nil {
+	p, err := Prepare(spec)
+	if err != nil {
 		return "", err
 	}
+	digest := specDigest(spec, p)
+	var hit map[string][]byte
+	if s.opts.Cache != nil && digest != "" {
+		hit, _ = s.opts.Cache.Get(digest)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return "", ErrDraining
 	}
-	if len(s.queue) >= s.opts.queueCap() {
+	if hit == nil && len(s.queue) >= s.opts.queueCap() {
 		s.metrics.rejected.Add(1)
-		return "", fmt.Errorf("%w (%d pending)", ErrQueueFull, len(s.queue))
+		n := len(s.queue)
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w (%d pending)", ErrQueueFull, n)
 	}
 	id := fmt.Sprintf("j%06d", s.seq)
-	j := &job{id: id, spec: spec, created: time.Now(), state: Queued}
+	j := &job{id: id, spec: spec, created: time.Now(), state: Queued, digest: digest}
 	j.logs.max = s.opts.LogTail
-	if err := s.writeJSON(filepath.Join(s.dir, id, "job.json"), jobFile{ID: id, Spec: spec, Created: j.created}); err != nil {
+	if err := s.writeJSON(filepath.Join(s.dir, id, "job.json"),
+		jobFile{ID: id, Spec: spec, Created: j.created, Digest: digest}); err != nil {
+		s.mu.Unlock()
 		return "", err
 	}
 	s.seq++
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.queue = append(s.queue, id)
-	s.cond.Signal()
+	if hit == nil {
+		s.queue = append(s.queue, id)
+		s.cond.Signal()
+		s.mu.Unlock()
+		s.logf("job %s submitted (%s)", id, spec.describe())
+		return id, nil
+	}
+	s.mu.Unlock()
 	s.logf("job %s submitted (%s)", id, spec.describe())
+	if err := s.installFromCache(j, hit); err != nil {
+		// An unusable hit (the entry was fine at Get, the install
+		// failed) degrades to the cold path, never to a failed job.
+		s.logf("job %s: cached result unusable, queued for a cold run: %v", id, err)
+		s.mu.Lock()
+		s.queue = append(s.queue, id)
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
 	return id, nil
+}
+
+// specDigest derives a submission's content address, or "" for
+// uncacheable submissions. Checkpoint-seeded shard jobs are excluded:
+// their results carry Resumed and would alias the fresh run's digest
+// with different bytes. For shard-selector jobs the digest covers the
+// prepared fault sublist and normalized config, so any (index, count)
+// pair selecting the same sublist shares an entry; for locally
+// sharded jobs the shard count is part of the mode because the merged
+// test order depends on it.
+func specDigest(spec Spec, p *Prepared) string {
+	if len(spec.Checkpoint) > 0 {
+		return ""
+	}
+	mode := "job-seq"
+	switch {
+	case spec.Shard != nil:
+		mode = "job-shard"
+	case p.Shards > 1:
+		mode = fmt.Sprintf("job-sharded-%d", p.Shards)
+	}
+	return rescache.Digest(p.Circuit, p.Campaign, p.Faults, mode)
+}
+
+// cacheArtifacts lists the files a done job persists — exactly what a
+// cache entry must replay for a hit to be indistinguishable from the
+// cold run that stored it.
+// The terminal marker is last: installFromCache writes in this order,
+// so a crash mid-install never leaves a Done marker ahead of the
+// artifacts it promises.
+func cacheArtifacts(j *job) []string {
+	names := []string{"result.json", "vectors.vec"}
+	if j.spec.Shard != nil {
+		names = append(names, "merge.json")
+	}
+	return append(names, "terminal.json")
+}
+
+// installFromCache replays a cache entry into the job's directory
+// verbatim and completes the job. The artifacts — result, vectors,
+// shard wire result and even the terminal marker — are the exact
+// bytes the cold run wrote, which is the cache's contract; the
+// in-memory finish time comes from the cached marker so a restart
+// recovers the same view.
+func (s *Server) installFromCache(j *job, files map[string][]byte) error {
+	var sum Summary
+	if err := json.Unmarshal(files["result.json"], &sum); err != nil {
+		return fmt.Errorf("cached result.json: %w", err)
+	}
+	var tf terminalFile
+	if err := json.Unmarshal(files["terminal.json"], &tf); err != nil {
+		return fmt.Errorf("cached terminal.json: %w", err)
+	}
+	if tf.State != Done {
+		return fmt.Errorf("cached terminal state is %q, want %q", tf.State, Done)
+	}
+	for _, name := range cacheArtifacts(j) {
+		data, ok := files[name]
+		if !ok {
+			return fmt.Errorf("cache entry lacks %s", name)
+		}
+		if err := ioguard.WriteFileDurable(s.fs, filepath.Join(s.dir, j.id, name), data, 0o644); err != nil {
+			return fmt.Errorf("install cached %s: %w", name, err)
+		}
+	}
+	s.mu.Lock()
+	s.transitionMemLocked(j, Done)
+	j.result = &sum
+	j.errMsg = ""
+	j.finished = tf.Finished
+	j.totalFaults = sum.Total
+	j.cancel = nil
+	s.mu.Unlock()
+	s.metrics.addResult(&sum)
+	s.metrics.jobsDone.Add(1)
+	s.logf("job %s: done (result cache hit %.12s)", j.id, j.digest)
+	s.settled(j.id, Done)
+	return nil
+}
+
+// cacheStore publishes a freshly finished job's artifacts to the
+// result cache. Only pristine results are stored: a resumed, degraded
+// or interrupted run reaches the same verdicts but not the same bytes
+// as a cold run, and byte-identity is the cache's contract. The bytes
+// are read back from the job directory, so what the cache replays is
+// literally what this job serves.
+func (s *Server) cacheStore(j *job, res *campaign.Result) {
+	if s.opts.Cache == nil || j.digest == "" || res.Resumed || res.Degraded || res.Interrupted {
+		return
+	}
+	files := map[string][]byte{}
+	for _, name := range cacheArtifacts(j) {
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, j.id, name))
+		if err != nil {
+			s.logf("job %s: result not cached, %s unreadable: %v", j.id, name, err)
+			return
+		}
+		files[name] = data
+	}
+	if err := s.opts.Cache.Put(j.digest, files); err != nil {
+		s.logf("job %s: result cache store failed: %v", j.id, err)
+	}
+}
+
+// requeue returns parked singleflight followers to the queue once
+// their leader's flight ended: each one re-enters runJob and either
+// hits the freshly stored cache entry or becomes the next leader.
+func (s *Server) requeue(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		j, ok := s.jobs[id]
+		if !ok || j.state != Queued {
+			continue // cancelled while parked
+		}
+		s.queue = append(s.queue, id)
+		s.cond.Signal()
+	}
 }
 
 // Cancel stops a job: a queued job goes terminal immediately, a
@@ -466,6 +635,7 @@ func (s *Server) statusLocked(j *job, withLog bool) JobStatus {
 		Quarantined:        j.quarantined,
 		Shards:             j.spec.shardCount(),
 		Runs:               int(j.runs.Load()),
+		Digest:             j.digest,
 		Result:             j.result,
 	}
 	if withLog {
@@ -532,7 +702,32 @@ func (s *Server) worker() {
 }
 
 // runJob executes one job's campaign and moves it to its next state.
+// With a result cache configured, the run is guarded twice: a cache
+// hit completes the job without computing, and a digest already being
+// computed by another worker parks this job as a singleflight
+// follower — it re-enters the queue when the leader's flight ends and
+// then consumes the cached result.
 func (s *Server) runJob(ctx context.Context, j *job) {
+	if s.opts.Cache != nil && j.digest != "" {
+		if files, ok := s.opts.Cache.Get(j.digest); ok {
+			if err := s.installFromCache(j, files); err == nil {
+				return
+			} else {
+				s.logf("job %s: cached result unusable, running cold: %v", j.id, err)
+			}
+		}
+		if !s.flight.Begin(j.digest, j.id) {
+			s.mu.Lock()
+			s.transitionMemLocked(j, Queued)
+			j.cancel = nil
+			s.mu.Unlock()
+			s.logf("job %s: identical campaign %.12s already in flight, parked for its result", j.id, j.digest)
+			s.settled(j.id, Queued)
+			return
+		}
+		defer func() { s.requeue(s.flight.End(j.digest)) }()
+	}
+
 	p, err := Prepare(j.spec)
 	if err != nil {
 		s.finishJob(j, Failed, err.Error(), nil)
@@ -609,6 +804,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		}
 		s.metrics.addResult(&sum)
 		s.finishJob(j, Done, "", &sum)
+		s.cacheStore(j, res)
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"runtime"
 	"runtime/debug"
 
@@ -27,6 +28,18 @@ type VersionInfo struct {
 	ResultWire       int    `json:"result_wire"`
 	Build            string `json:"build,omitempty"`
 	Go               string `json:"go,omitempty"`
+}
+
+// String renders the handshake identity on one line — the same
+// identity /version serves and serve logs at startup, so `-version`
+// output from any binary can be compared against a fleet's handshake.
+func (v VersionInfo) String() string {
+	build := v.Build
+	if build == "" {
+		build = "unknown"
+	}
+	return fmt.Sprintf("%s build %s (%s): api v%d, checkpoint format v%d, result wire v%d",
+		v.Service, build, v.Go, v.API, v.CheckpointFormat, v.ResultWire)
 }
 
 // Version reports this build's handshake identity.

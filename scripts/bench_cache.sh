@@ -1,0 +1,21 @@
+#!/bin/sh
+# Replays a Zipf-skewed stream of campaign submissions against a
+# cache-backed service and records the dedupe numbers in
+# BENCH_cache.json at the repo root: hit rate, submit-to-done latency
+# percentiles split by cold runs vs cache hits, and the eviction count
+# under the capacity bound. The replay is the TestCacheReplay harness,
+# which also asserts the >= 50% hit rate and that the cache never
+# exceeds its byte cap mid-replay.
+#
+#   scripts/bench_cache.sh          # full replay (60 requests)
+#   SHORT=1 scripts/bench_cache.sh  # -short replay (36 requests)
+set -eu
+cd "$(dirname "$0")/.."
+
+short=""
+[ "${SHORT:-}" != "" ] && short="-short"
+
+BENCH_CACHE_OUT="$(pwd)/BENCH_cache.json" \
+	go test -run='^TestCacheReplay$' -v -count=1 $short ./internal/service/
+
+cat BENCH_cache.json
