@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"seqatpg/internal/atpg"
@@ -174,6 +175,12 @@ func run() int {
 	fmt.Printf("\n")
 	fmt.Printf("coverage:  FC %.2f%%  FE %.2f%%\n", s.FC(), s.FE())
 	fmt.Printf("effort:    %d gate evaluations, %d backtracks\n", s.Effort, s.Backtracks)
+	effWorkers := *fsimWorkers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("fsim:      %d workers, width auto (throughput knobs; results identical for every value)\n",
+		effWorkers)
 	fmt.Printf("tests:     %d sequences\n", len(res.Tests))
 	fmt.Printf("states:    %d distinct states traversed\n", len(s.StatesTraversed))
 	if s.LearnHits+s.LearnPrunes > 0 {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux for the ops listener
 	"os"
 	"os/signal"
 	"strings"
@@ -86,7 +87,7 @@ func run() int {
 
 	dir := flag.String("dir", "", "durable coordinator state (shard checkpoints, results, journal); empty = in-memory only")
 	out := flag.String("o", "", "write the generated test vectors to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	minFE := flag.Float64("min-fe", 0, "exit with status 3 if final fault efficiency is below this percentage")
 	deadline := flag.Duration("deadline", 0, "stop cooperatively after this wall-clock budget (0 = none)")
 	fsimWorkers := flag.Int("fsim-workers", 0, "merge fault-simulation worker count (0 = 1; results are identical for every value)")
@@ -186,6 +187,10 @@ func run() int {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", coord.MetricsHandler())
+		// net/http/pprof registers on http.DefaultServeMux at import;
+		// mounting it here keeps profiles on the ops address, off the
+		// coordination listener.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
 		ms := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := ms.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -193,7 +198,7 @@ func run() int {
 			}
 		}()
 		defer ms.Close()
-		log.Printf("metrics on %s/metrics", *metricsAddr)
+		log.Printf("metrics and pprof on %s", *metricsAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"syscall"
 
 	"seqatpg/internal/fault"
@@ -56,6 +58,9 @@ func run() int {
 	tf := flag.String("t", "", "test vector file")
 	vcd := flag.String("vcd", "", "dump a VCD waveform of the first sequence to this path")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker count (results are identical for every value)")
+	width := flag.Int("width", fault.WidthAuto, "faults per kernel pass: 63, 127, 255, or -1 to adapt to measured activity (results are identical for every value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
 	if *showVersion {
@@ -94,6 +99,37 @@ func run() int {
 		return exitSetup
 	}
 
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Print(err)
+			return exitSetup
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			log.Print(err)
+			return exitSetup
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			pf, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				log.Print(err)
+			}
+			pf.Close()
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -103,6 +139,7 @@ func run() int {
 		log.Print(err)
 		return exitSetup
 	}
+	fs.Width = *width
 	detected := make([]bool, len(faults))
 	states := map[uint64]bool{}
 	cycles := 0
@@ -140,8 +177,12 @@ func run() int {
 	fmt.Printf("faults:    %d collapsed, %d detected\n", cov.Total, cov.Detected)
 	fmt.Printf("coverage:  FC %.2f%%\n", cov.FC())
 	fmt.Printf("states:    %d distinct states traversed\n", len(states))
-	fmt.Printf("kernel:    %d events, %d gate evals (%d avoided), %d early batch exits\n",
-		st.Events, st.GateEvals, st.GateEvalsAvoided, st.EarlyExits)
+	widthStr := strconv.Itoa(*width)
+	if *width == fault.WidthAuto {
+		widthStr = "auto"
+	}
+	fmt.Printf("kernel:    %d workers, width %s: %d events, %d gate evals (%d avoided), %d early batch exits\n",
+		*workers, widthStr, st.Events, st.GateEvals, st.GateEvalsAvoided, st.EarlyExits)
 
 	if *vcd != "" {
 		// The report above already holds the results; a VCD failure must

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux for the ops listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -61,6 +62,7 @@ func run() int {
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full request including body")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response deadline")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this side address (empty = off; metrics stay on the API listener regardless)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty = cache off)")
 	cacheCap := flag.Int64("cache-cap", rescache.DefaultCap, "result cache capacity in payload bytes; LRU eviction past it (negative = unbounded)")
 	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
@@ -125,6 +127,26 @@ func run() int {
 			listenErr <- err
 		}
 	}()
+
+	// The ops listener carries the observability surface — Prometheus
+	// scrapes and the net/http/pprof profiles — on its own address, so
+	// profiling a wedged service never competes with (or is blocked by)
+	// the job API's timeouts and queue pressure. pprof registers on
+	// http.DefaultServeMux at import; mounting that mux under
+	// /debug/pprof/ picks the handlers up without touching the API mux.
+	if *metricsAddr != "" {
+		ops := http.NewServeMux()
+		ops.Handle("GET /metrics", srv.MetricsHandler())
+		ops.Handle("/debug/pprof/", http.DefaultServeMux)
+		ohs := &http.Server{Addr: *metricsAddr, Handler: ops, ReadHeaderTimeout: *readHeaderTimeout}
+		go func() {
+			if err := ohs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		defer ohs.Close()
+		log.Printf("metrics and pprof on %s", *metricsAddr)
+	}
 	// The handshake identity goes in the startup log so an operator can
 	// spot a skewed fleet from the logs alone, without curling /version.
 	v := service.Version()

@@ -54,6 +54,25 @@ func TestFingerprintIgnoresObliviousSim(t *testing.T) {
 	}
 }
 
+// TestFingerprintIgnoresFsimWorkers pins the contract the fault-sim
+// throughput knobs rely on: FsimWorkers (and, inside the engine, the
+// kernel Width it implies) is worker-count- and width-invariant in
+// results and effort, so changing it must never invalidate a
+// checkpoint. A machine with more cores resumes another machine's
+// campaign.
+func TestFingerprintIgnoresFsimWorkers(t *testing.T) {
+	c := synthC(t, 7, 5)
+	faults := fault.CollapsedUniverse(c)[:20]
+	base := Config{Engine: engineCfg()}
+	for _, workers := range []int{1, 2, 8, 64} {
+		tuned := base
+		tuned.FsimWorkers = workers
+		if Fingerprint(c, base, faults) != Fingerprint(c, tuned, faults) {
+			t.Errorf("FsimWorkers=%d changed the checkpoint fingerprint", workers)
+		}
+	}
+}
+
 // TestRunShardedNormalizesSharedLearning: the shared justification
 // cache is cross-fault state, so sharded mode must disable it (logging
 // the change) and stay shard-count-invariant when a caller asks for it.

@@ -1,0 +1,715 @@
+package fault
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// lanes constrains the kernel's lane-group shapes: one, two or four
+// 64-bit words per circuit position. Each shape instantiates its own
+// copy of the kernel with the lane count a compile-time constant, so
+// the per-lane folds unroll instead of looping over a runtime width.
+type lanes interface {
+	[1]uint64 | [2]uint64 | [4]uint64
+}
+
+// laneCount returns the lane count of a shape as a plain int.
+func laneCount[L lanes]() int {
+	var l L
+	return len(l)
+}
+
+// laneIdx maps a lane count to its pool slot: 1→0, 2→1, 4→2.
+func laneIdx(lanes int) int { return lanes >> 1 }
+
+// faultsPerPass is the batch capacity of a lane group: 64 bits per
+// lane, minus the bit reserved for the broadcast good value.
+func faultsPerPass[L lanes]() int { return 64*laneCount[L]() - 1 }
+
+// pword is a lane group: W two-rail 64-bit words carrying 64·W
+// circuits in parallel. Bit b of lane l is circuit 64·l+b; zero[l] bit
+// b set means that circuit sees logic 0, one[l] means 1, neither X.
+type pword[L lanes] struct{ zero, one L }
+
+// bcast replicates a broadcast good word into every lane.
+func bcast[L lanes](g sim.PVal) (w pword[L]) {
+	for l := 0; l < len(w.zero); l++ {
+		w.zero[l] = g.Zero
+		w.one[l] = g.One
+	}
+	return w
+}
+
+// eq compares two lane groups branch-free. The hot paths compare lane
+// groups constantly (divergence-from-good is the active-region test);
+// spelled as `==` on the structs the compiler emits a runtime memequal
+// call for the wider shapes, so the folds here are worth ~15% of the
+// whole kernel.
+func (w *pword[L]) eq(v *pword[L]) bool {
+	var d uint64
+	for l := 0; l < len(w.zero); l++ {
+		d |= (w.zero[l] ^ v.zero[l]) | (w.one[l] ^ v.one[l])
+	}
+	return d == 0
+}
+
+// set assigns circuit `bit`'s value in the lane group.
+func (w *pword[L]) set(bit uint32, v sim.Val) {
+	l, b := bit>>6, bit&63
+	w.zero[l] &^= 1 << b
+	w.one[l] &^= 1 << b
+	switch v {
+	case sim.V0:
+		w.zero[l] |= 1 << b
+	case sim.V1:
+		w.one[l] |= 1 << b
+	}
+}
+
+// evalWide computes a gate's lane-group output from its fanin groups —
+// the generic (gather-based) evaluation used at injection sites and
+// for fanin-less gates, mirroring sim.EvalGateP lane by lane.
+func evalWide[L lanes](t netlist.GateType, in []pword[L]) pword[L] {
+	switch t {
+	case netlist.Buf, netlist.Output, netlist.DFF:
+		return in[0]
+	case netlist.Not:
+		w := in[0]
+		return pword[L]{zero: w.one, one: w.zero}
+	case netlist.And, netlist.Nand:
+		acc := bcast[L](pconstTab[sim.V1])
+		for _, v := range in {
+			for l := 0; l < len(acc.zero); l++ {
+				acc.zero[l] |= v.zero[l]
+				acc.one[l] &= v.one[l]
+			}
+		}
+		if t == netlist.Nand {
+			return pword[L]{zero: acc.one, one: acc.zero}
+		}
+		return acc
+	case netlist.Or, netlist.Nor:
+		acc := bcast[L](pconstTab[sim.V0])
+		for _, v := range in {
+			for l := 0; l < len(acc.zero); l++ {
+				acc.zero[l] &= v.zero[l]
+				acc.one[l] |= v.one[l]
+			}
+		}
+		if t == netlist.Nor {
+			return pword[L]{zero: acc.one, one: acc.zero}
+		}
+		return acc
+	case netlist.Xor, netlist.Xnor:
+		acc := bcast[L](pconstTab[sim.V0])
+		for _, v := range in {
+			for l := 0; l < len(acc.zero); l++ {
+				known := (acc.zero[l] | acc.one[l]) & (v.zero[l] | v.one[l])
+				ones := (acc.one[l] & v.zero[l]) | (acc.zero[l] & v.one[l])
+				acc.zero[l] = known &^ ones
+				acc.one[l] = ones
+			}
+		}
+		if t == netlist.Xnor {
+			return pword[L]{zero: acc.one, one: acc.zero}
+		}
+		return acc
+	case netlist.Const0:
+		return bcast[L](pconstTab[sim.V0])
+	case netlist.Const1:
+		return bcast[L](pconstTab[sim.V1])
+	default:
+		return pword[L]{} // all X
+	}
+}
+
+// injection describes where a batch member's fault manifests.
+type injection struct {
+	bit uint32 // circuit bit carrying the fault (lane = bit>>6)
+	pin int16  // -1 for output stem, else the fanin branch
+	sa  sim.Val
+}
+
+// eqs reports whether every lane of the group equals the broadcast
+// good value — the divergence-from-good test, taken against the scalar
+// good rows. The scalar rows are a quarter the footprint of replicated
+// wide rows, so they stay cache-resident where materialized wide rows
+// measurably did not.
+func (w *pword[L]) eqs(g sim.PVal) bool {
+	var d uint64
+	for l := 0; l < len(w.zero); l++ {
+		d |= (w.zero[l] ^ g.Zero) | (w.one[l] ^ g.One)
+	}
+	return d == 0
+}
+
+// wideRows prepares (and caches) the good-circuit rows replicated to
+// lane shape L, shared read-only by every batch of the call. The wide
+// rows serve the bulk stores — the t = 0 fill and the frame-boundary
+// repairs — as plain memmoves, which measurably beat per-position
+// broadcast stores; divergence *compares* still run against the scalar
+// rows (eqs), which are a quarter the footprint and stay cache-hot.
+// Buffers are reused across calls per lane shape (slot indexed by
+// laneIdx, like pools), so the engines' interleaved one-lane DetectsOne
+// and wide Detects calls do not evict each other.
+func wideRows[L lanes](fs *Simulator) [][]pword[L] {
+	slot := &fs.wrows[laneIdx(laneCount[L]())]
+	rows, _ := (*slot).([][]pword[L])
+	n := fs.soa.NumGates()
+	if cap(rows) < len(fs.goodRows) {
+		grown := make([][]pword[L], len(fs.goodRows))
+		copy(grown, rows)
+		rows = grown
+	}
+	rows = rows[:len(fs.goodRows)]
+	for t, row := range fs.goodRows {
+		if rows[t] == nil {
+			rows[t] = make([]pword[L], n)
+		}
+		wrow := rows[t]
+		for p, g := range row {
+			wrow[p] = bcast[L](g)
+		}
+	}
+	*slot = rows
+	return rows
+}
+
+// batchCtx is the per-batch arena: every slice the kernel mutates
+// while simulating one batch, indexed by topological position (state
+// by DFF index) and reused across batches — resetting between batches
+// is O(batch), not O(gates). Workers each hold their own arena from
+// the per-width pool.
+//
+// The kernel's core invariant: at every point inside a frame, vals[p]
+// is the position's lane group for that frame if it has been
+// evaluated, and the replicated good row value otherwise. Event frames
+// restore the invariant at the frame boundary by repairing just the
+// touched positions with the next frame's good row; frames finished by
+// an oblivious sweep repair with one bulk copy. Reads therefore never
+// need a liveness check.
+type batchCtx[L lanes] struct {
+	vals     []pword[L]
+	touched  []int32 // positions stored by the current event frame
+	state    []pword[L]
+	inject   [][]injection // position -> live injections (empty off-site)
+	injSites []int32
+	sites    []int32  // injSites sorted by position, for the sweep segments
+	seed     []uint64 // frame seed bitset: sites that still carry live faults
+	pend     []uint64 // pending-event bitset by position
+	faninBuf [netlist.MaxFanin]pword[L]
+
+	// activity counters, accumulated across the batches this arena
+	// served and folded into the Simulator's atomics on release
+	nbatches, frames, events, evals, fallbacks, earlyExits int64
+}
+
+// getBatchCtx fetches (or builds) a batch arena for lane shape L.
+func getBatchCtx[L lanes](fs *Simulator) *batchCtx[L] {
+	pool := &fs.pools[laneIdx(laneCount[L]())]
+	if v := pool.Get(); v != nil {
+		return v.(*batchCtx[L])
+	}
+	n := fs.soa.NumGates()
+	return &batchCtx[L]{
+		vals:   make([]pword[L], n),
+		state:  make([]pword[L], fs.soa.NumDFFs()),
+		inject: make([][]injection, n),
+		seed:   make([]uint64, (n+63)/64),
+		pend:   make([]uint64, (n+63)/64),
+	}
+}
+
+// putBatchCtx folds the arena's locally accumulated counters into the
+// shared stats — the single point of cross-worker contention, one
+// atomic add per counter per release — and returns it to the pool.
+func putBatchCtx[L lanes](fs *Simulator, bc *batchCtx[L]) {
+	atomic.AddInt64(&fs.stats.batches, bc.nbatches)
+	atomic.AddInt64(&fs.stats.frames, bc.frames)
+	atomic.AddInt64(&fs.stats.events, bc.events)
+	atomic.AddInt64(&fs.stats.gateEvals, bc.evals)
+	atomic.AddInt64(&fs.stats.avoided, bc.frames*int64(fs.soa.EvalGates)-bc.evals)
+	atomic.AddInt64(&fs.stats.fallbacks, bc.fallbacks)
+	atomic.AddInt64(&fs.stats.earlyExits, bc.earlyExits)
+	bc.nbatches, bc.frames, bc.events, bc.evals, bc.fallbacks, bc.earlyExits = 0, 0, 0, 0, 0, 0
+	fs.pools[laneIdx(laneCount[L]())].Put(bc)
+}
+
+// runBatch simulates one batch of up to faultsPerPass[L] faults against
+// the shared good rows. Bit i+1 (lane (i+1)>>6) of every lane group
+// carries faults[i]; a gate enters the batch's active region the first
+// frame its lane group diverges from the good row value. The arena's
+// injection tables are cleared on return (O(batch)) so it can serve the
+// next batch.
+func runBatch[L lanes](fs *Simulator, bc *batchCtx[L], rows [][]pword[L], frames int, faults []Fault, detected []bool) {
+	bc.nbatches++
+	for i := range faults {
+		f := &faults[i]
+		p := fs.soa.Pos[f.Gate]
+		if len(bc.inject[p]) == 0 {
+			bc.injSites = append(bc.injSites, p)
+		}
+		bc.inject[p] = append(bc.inject[p], injection{bit: uint32(i + 1), pin: int16(f.Pin), sa: f.SA})
+	}
+	bc.sites = append(bc.sites[:0], bc.injSites...)
+	for i := 1; i < len(bc.sites); i++ { // ≤Width sites: insertion sort
+		for j := i; j > 0 && bc.sites[j] < bc.sites[j-1]; j-- {
+			bc.sites[j], bc.sites[j-1] = bc.sites[j-1], bc.sites[j]
+		}
+	}
+	for i := range bc.seed {
+		bc.seed[i] = 0
+	}
+	for _, p := range bc.injSites {
+		bc.seed[p>>6] |= 1 << (uint32(p) & 63)
+	}
+	var det, full, dropped L
+	for i := range faults {
+		b := uint32(i + 1)
+		full[b>>6] |= 1 << (b & 63)
+	}
+	state := bc.state
+	for i := range state {
+		state[i] = pword[L]{} // all X
+	}
+	threshold := fs.fallbackThreshold()
+
+	// Establish the frame invariant for t = 0: every position holds its
+	// good row value until an evaluation stores a diverged one.
+	bc.touched = bc.touched[:0]
+	if frames > 0 {
+		copy(bc.vals, rows[0])
+	}
+
+	// dense remembers that the previous frame's activity exceeded the
+	// threshold: the next frame then skips event scheduling entirely and
+	// runs the tight full-frame sweep, returning to event mode once the
+	// measured active region shrinks again.
+	dense := false
+	for t := 0; t < frames; t++ {
+		row := fs.goodRows[t]
+		bc.frames++
+
+		sweptAll := dense
+		if dense {
+			active := sweepFrom(fs, bc, row, 0)
+			bc.evals += int64(fs.soa.EvalGates)
+			bc.fallbacks++
+			dense = 2*active >= threshold
+		} else {
+			// Seed the frame's events: injection sites (a batch-constant
+			// bitset), and flip-flops whose faulty lane group diverged
+			// from the good state.
+			copy(bc.pend, bc.seed)
+			for i, p := range fs.soa.DFFPos {
+				if !state[i].eqs(row[p]) {
+					bc.pend[p>>6] |= 1 << (uint32(p) & 63)
+				}
+			}
+			// The drain loop is the kernel's single hottest path, so the
+			// common event — a combinational gate with no injection — is
+			// handled inline over hoisted locals; only injection sites and
+			// the register/input loads take the generic evalPos call.
+			vals, pend, inject := bc.vals, bc.pend, bc.inject
+			kinds := fs.soa.Kind
+			fout, foutOff := fs.soa.Fout, fs.soa.FoutOff
+			evals, events := 0, 0
+		drain:
+			for wi := 0; wi < len(pend); wi++ {
+				for pend[wi] != 0 {
+					b := bits.TrailingZeros64(pend[wi])
+					pend[wi] &^= 1 << uint(b)
+					p := wi<<6 | b
+					if evals >= threshold {
+						// Too active: finish the frame obliviously from
+						// here. Everything before position p is final —
+						// evaluated, or holding its good row value by the
+						// frame invariant — so a plain in-order sweep over
+						// the tail is exact.
+						for j := wi; j < len(pend); j++ {
+							pend[j] = 0
+						}
+						sweepFrom(fs, bc, row, p)
+						evals = int(int32(fs.soa.EvalGates)-fs.soa.EvalsBefore[p]) + evals
+						bc.fallbacks++
+						dense = true
+						sweptAll = true
+						break drain
+					}
+					events++
+					if kind := kinds[p]; len(inject[p]) == 0 && kind >= netlist.Output && kind <= netlist.Xnor {
+						evals++
+						w := foldVals(fs, bc, p, kind)
+						if !w.eq(&vals[p]) {
+							vals[p] = w
+							bc.touched = append(bc.touched, int32(p))
+							for _, o := range fout[foutOff[p]:foutOff[p+1]] {
+								pend[o>>6] |= 1 << (uint32(o) & 63)
+							}
+						}
+					} else if evalPos(fs, bc, p, row, false) {
+						evals++
+					}
+				}
+			}
+			bc.evals += int64(evals)
+			bc.events += int64(events)
+		}
+
+		// Word-level detection: good binary, faulty binary, different.
+		// The scalar good row tells binary-ness in one compare per
+		// output; an inactive output still holds the good row value,
+		// contributing nothing.
+		for _, p := range fs.soa.POPos {
+			w := &bc.vals[p]
+			switch g := row[p]; {
+			case g.Zero == ^uint64(0):
+				for l := 0; l < len(det); l++ {
+					det[l] |= w.one[l] & full[l]
+				}
+			case g.One == ^uint64(0):
+				for l := 0; l < len(det); l++ {
+					det[l] |= w.zero[l] & full[l]
+				}
+			}
+		}
+
+		if det == full {
+			if t+1 < frames {
+				bc.earlyExits++
+			}
+			break
+		}
+
+		// Drop detected faults (the PROOFS fault-drop): their bits no
+		// longer matter, so removing their injections and steering their
+		// state bits back to the good values shrinks the active region
+		// for the rest of the sequence. Undetected bits never read a
+		// detected bit — the two-rail algebra is bitwise — so their
+		// trajectories are untouched.
+		if det != dropped {
+			for _, p := range bc.injSites {
+				injs := bc.inject[p]
+				kept := injs[:0]
+				for _, inj := range injs {
+					if det[inj.bit>>6]>>(inj.bit&63)&1 == 0 {
+						kept = append(kept, inj)
+					}
+				}
+				bc.inject[p] = kept
+			}
+			// Sites whose faults are all detected stop seeding frames
+			// (and stop segmenting the sweep).
+			sites := bc.sites[:0]
+			for _, p := range bc.sites {
+				if len(bc.inject[p]) != 0 {
+					sites = append(sites, p)
+				}
+			}
+			bc.sites = sites
+			for i := range bc.seed {
+				bc.seed[i] = 0
+			}
+			for _, p := range bc.sites {
+				bc.seed[p>>6] |= 1 << (uint32(p) & 63)
+			}
+			dropped = det
+		}
+
+		// Clock edge: capture D values; a stem fault on the DFF itself
+		// (or a branch fault on its D input) pins the next Q value.
+		// Detected bits are forced back to the good next state.
+		for i, dp := range fs.soa.DFFD {
+			w := bc.vals[dp]
+			for _, inj := range bc.inject[fs.soa.DFFPos[i]] {
+				if inj.pin <= 0 {
+					w.set(inj.bit, inj.sa)
+				}
+			}
+			g := row[dp]
+			for l := 0; l < len(w.zero); l++ {
+				w.zero[l] = w.zero[l]&^dropped[l] | g.Zero&dropped[l]
+				w.one[l] = w.one[l]&^dropped[l] | g.One&dropped[l]
+			}
+			state[i] = w
+		}
+
+		// Restore the frame invariant for the next frame: positions this
+		// frame diverged, and positions whose good value changes between
+		// the frames, get the next good row; everything else already holds
+		// it. Swept frames skip the bookkeeping with one bulk copy.
+		if t+1 < frames {
+			next := rows[t+1]
+			// Past about half the circuit, one bulk memmove beats the
+			// scattered per-position stores.
+			if sweptAll || len(bc.touched)+len(fs.gDelta[t+1]) > len(next)/2 {
+				copy(bc.vals, next)
+			} else {
+				for _, q := range bc.touched {
+					bc.vals[q] = next[q]
+				}
+				for _, q := range fs.gDelta[t+1] {
+					bc.vals[q] = next[q]
+				}
+			}
+		}
+		bc.touched = bc.touched[:0]
+	}
+	for i := range faults {
+		b := uint32(i + 1)
+		detected[i] = det[b>>6]>>(b&63)&1 == 1
+	}
+	// Clear the injection tables (O(batch), not O(gates)).
+	for _, p := range bc.injSites {
+		bc.inject[p] = bc.inject[p][:0]
+	}
+	bc.injSites = bc.injSites[:0]
+}
+
+// sweepFrom evaluates every position in [from, len) in topological
+// order for the current frame — the oblivious kernel, used for a whole
+// frame when the previous one showed the active region covering most of
+// the circuit (from = 0), and for the tail when the event scheduler
+// trips the fallback threshold mid-frame. Each gate's fanins are
+// current when it is reached: earlier swept positions were just stored,
+// and everything else holds its value by the frame invariant. Because
+// the (at most Width) injection sites are visited between segments of
+// the sorted site list, the hot loop never touches the injection
+// tables at all. It returns the number of positions whose lane group
+// diverges from the good row value, which drives the switch back to
+// event mode.
+//
+// The two-rail folds mirror foldVals (and evalWide) exactly.
+func sweepFrom[L lanes](fs *Simulator, bc *batchCtx[L], row []sim.PVal, from int) (active int) {
+	vals := bc.vals
+	kinds, faninOff, fan := fs.soa.Kind, fs.soa.FaninOff, fs.soa.Fanin
+	n0 := 0
+	for n0 < len(bc.sites) && int(bc.sites[n0]) < from {
+		n0++
+	}
+	start := from
+	for n := n0; n <= len(bc.sites); n++ {
+		stop := len(kinds)
+		if n < len(bc.sites) {
+			stop = int(bc.sites[n])
+		}
+		for p := start; p < stop; p++ {
+			kind := kinds[p]
+			var w pword[L]
+			off, end := faninOff[p], faninOff[p+1]
+			if off == end {
+				switch kind {
+				case netlist.Input:
+					w = bcast[L](row[p])
+				default:
+					w = evalWide[L](kind, nil) // Const0/Const1 (or a degenerate gate)
+				}
+				vals[p] = w
+				continue // equal to good by construction
+			}
+			w = vals[fan[off]]
+			switch kind {
+			case netlist.And, netlist.Nand:
+				for k := off + 1; k < end; k++ {
+					b := &vals[fan[k]]
+					for l := 0; l < len(w.zero); l++ {
+						w.zero[l] |= b.zero[l]
+						w.one[l] &= b.one[l]
+					}
+				}
+				if kind == netlist.Nand {
+					w = pword[L]{zero: w.one, one: w.zero}
+				}
+			case netlist.Or, netlist.Nor:
+				for k := off + 1; k < end; k++ {
+					b := &vals[fan[k]]
+					for l := 0; l < len(w.zero); l++ {
+						w.zero[l] &= b.zero[l]
+						w.one[l] |= b.one[l]
+					}
+				}
+				if kind == netlist.Nor {
+					w = pword[L]{zero: w.one, one: w.zero}
+				}
+			case netlist.Xor, netlist.Xnor:
+				for k := off + 1; k < end; k++ {
+					b := &vals[fan[k]]
+					for l := 0; l < len(w.zero); l++ {
+						known := (w.zero[l] | w.one[l]) & (b.zero[l] | b.one[l])
+						ones := (w.one[l] & b.zero[l]) | (w.zero[l] & b.one[l])
+						w.zero[l] = known &^ ones
+						w.one[l] = ones
+					}
+				}
+				if kind == netlist.Xnor {
+					w = pword[L]{zero: w.one, one: w.zero}
+				}
+			case netlist.Not:
+				w = pword[L]{zero: w.one, one: w.zero}
+			case netlist.Buf, netlist.Output:
+				// w is already the single fanin's lane group.
+			case netlist.DFF:
+				w = bc.state[fs.soa.DFFAt[p]]
+			default:
+				in := bc.faninBuf[:end-off]
+				for k := off; k < end; k++ {
+					in[k-off] = vals[fan[k]]
+				}
+				w = evalWide(kind, in)
+			}
+			vals[p] = w
+			if !w.eqs(row[p]) {
+				active++
+			}
+		}
+		if n < len(bc.sites) {
+			// Injection site: the general event evaluation, oblivious
+			// mode (store unconditionally, schedule nothing).
+			p := int(bc.sites[n])
+			evalPos(fs, bc, p, row, true)
+			if !bc.vals[p].eqs(row[p]) {
+				active++
+			}
+		}
+		start = stop + 1
+	}
+	return active
+}
+
+// foldVals is the no-injection combinational fold over bc.vals, for
+// event positions whose fanins are all current; it mirrors the sweep
+// hot loop (and evalWide) exactly.
+func foldVals[L lanes](fs *Simulator, bc *batchCtx[L], p int, kind netlist.GateType) pword[L] {
+	vals, fan := bc.vals, fs.soa.Fanin
+	off, end := fs.soa.FaninOff[p], fs.soa.FaninOff[p+1]
+	if off == end {
+		return evalWide[L](kind, nil)
+	}
+	w := vals[fan[off]]
+	switch kind {
+	case netlist.And, netlist.Nand:
+		for k := off + 1; k < end; k++ {
+			b := &vals[fan[k]]
+			for l := 0; l < len(w.zero); l++ {
+				w.zero[l] |= b.zero[l]
+				w.one[l] &= b.one[l]
+			}
+		}
+		if kind == netlist.Nand {
+			w = pword[L]{zero: w.one, one: w.zero}
+		}
+	case netlist.Or, netlist.Nor:
+		for k := off + 1; k < end; k++ {
+			b := &vals[fan[k]]
+			for l := 0; l < len(w.zero); l++ {
+				w.zero[l] &= b.zero[l]
+				w.one[l] |= b.one[l]
+			}
+		}
+		if kind == netlist.Nor {
+			w = pword[L]{zero: w.one, one: w.zero}
+		}
+	case netlist.Xor, netlist.Xnor:
+		for k := off + 1; k < end; k++ {
+			b := &vals[fan[k]]
+			for l := 0; l < len(w.zero); l++ {
+				known := (w.zero[l] | w.one[l]) & (b.zero[l] | b.one[l])
+				ones := (w.one[l] & b.zero[l]) | (w.zero[l] & b.one[l])
+				w.zero[l] = known &^ ones
+				w.one[l] = ones
+			}
+		}
+		if kind == netlist.Xnor {
+			w = pword[L]{zero: w.one, one: w.zero}
+		}
+	case netlist.Not:
+		w = pword[L]{zero: w.one, one: w.zero}
+	case netlist.Buf, netlist.Output:
+		// w is already the single fanin's lane group.
+	default:
+		in := bc.faninBuf[:end-off]
+		for k := off; k < end; k++ {
+			in[k-off] = vals[fan[k]]
+		}
+		w = evalWide(kind, in)
+	}
+	return w
+}
+
+// evalPos computes one position's lane group for the current frame —
+// reading fanins straight out of bc.vals, which the frame invariant
+// keeps current — and, when it diverges from the position's present
+// value, stores it, records the position as touched, and (in event
+// mode) schedules the combinational fanouts. In oblivious mode the
+// group is always stored and nothing is scheduled — the caller sweeps
+// every remaining position in topological order anyway. The return
+// value reports whether a parallel gate evaluation was performed
+// (false for Input/DFF loads, which the oblivious kernel never
+// counted).
+//
+// Gates carrying an injection take the generic gather + evalWide path
+// so the branch (input-pin) faults apply in one place.
+func evalPos[L lanes](fs *Simulator, bc *batchCtx[L], p int, row []sim.PVal, oblivious bool) bool {
+	kind := fs.soa.Kind[p]
+	injs := bc.inject[p]
+	var w pword[L]
+	evaluated := false
+	switch {
+	case kind == netlist.Input:
+		w = bcast[L](row[p])
+	case kind == netlist.DFF:
+		w = bc.state[fs.soa.DFFAt[p]]
+	case len(injs) != 0:
+		// Injection site. Stem-only sites (the common case) fold
+		// straight over bc.vals like any other gate — the stem bits are
+		// patched onto the result below. Only branch (input-pin) faults
+		// need the gather-and-patch path through evalWide.
+		evaluated = true
+		branch := false
+		for _, inj := range injs {
+			if inj.pin >= 0 {
+				branch = true
+				break
+			}
+		}
+		if !branch && kind != netlist.Input && kind != netlist.DFF {
+			w = foldVals(fs, bc, p, kind)
+			break
+		}
+		off, end := fs.soa.FaninOff[p], fs.soa.FaninOff[p+1]
+		in := bc.faninBuf[:end-off]
+		for k := off; k < end; k++ {
+			in[k-off] = bc.vals[fs.soa.Fanin[k]]
+		}
+		for _, inj := range injs {
+			if inj.pin >= 0 {
+				in[inj.pin].set(inj.bit, inj.sa)
+			}
+		}
+		w = evalWide(kind, in)
+	default:
+		evaluated = true
+		w = foldVals(fs, bc, p, kind)
+	}
+	// Stem fault injection on the gate output.
+	for _, inj := range injs {
+		if inj.pin < 0 {
+			w.set(inj.bit, inj.sa)
+		}
+	}
+	if oblivious {
+		bc.vals[p] = w
+		return evaluated
+	}
+	if !w.eq(&bc.vals[p]) {
+		bc.vals[p] = w
+		bc.touched = append(bc.touched, int32(p))
+		for _, o := range fs.soa.Fout[fs.soa.FoutOff[p]:fs.soa.FoutOff[p+1]] {
+			bc.pend[o>>6] |= 1 << (uint32(o) & 63)
+		}
+	}
+	return evaluated
+}

@@ -7,64 +7,123 @@ import (
 	"seqatpg/internal/sim"
 )
 
-// DetectsParallel is Detects with the 63-fault batches fanned out over
-// a bounded worker pool. The good circuit is still simulated exactly
-// once; each worker carries its own reusable batch state and writes a
-// disjoint slice of the result, so the detected slice is byte-identical
-// to the serial Detects for every worker count — worker scheduling can
-// reorder only the activity counters' accumulation, and those are
-// order-independent sums.
+// DetectsParallel is Detects with the Width-fault batches fanned out
+// over a bounded worker pool. The good circuit is still simulated
+// exactly once; workers are handed pre-partitioned contiguous batch
+// ranges — one range per worker, no shared dispatch channel — and each
+// writes a disjoint slice of the result, so the detected slice is
+// byte-identical to the serial Detects for every worker count. Worker
+// scheduling can reorder only the activity counters' accumulation, and
+// those are order-independent sums, merged once per worker.
 //
-// workers <= 1 (or a single batch) selects the serial path. A non-nil
-// context error cancels the remaining batches between dispatches and is
-// returned; batches already running finish first.
+// Contiguous ranges also preserve the fault-ordering locality the
+// active region feeds on (CollapsedUniverse emits faults gate by gate),
+// where round-robin or stealing would interleave unrelated cones.
+//
+// workers <= 1 (or a single batch) runs serially on the caller's
+// goroutine. A non-nil context error cancels the remaining batches —
+// every worker checks between batches — and is returned; batches
+// already running finish first.
 func (fs *Simulator) DetectsParallel(ctx context.Context, seq [][]sim.Val, faults []Fault, workers int) ([]bool, error) {
-	nBatches := (len(faults) + 62) / 63
-	if workers > nBatches {
-		workers = nBatches
+	return fs.detects(ctx, seq, faults, workers)
+}
+
+// detects validates the configured width, runs the shared good-circuit
+// simulation, and dispatches the batches to the lane-shape-specialized
+// kernel instantiation. ctx may be nil (the serial entry points).
+func (fs *Simulator) detects(ctx context.Context, seq [][]sim.Val, faults []Fault, workers int) ([]bool, error) {
+	width := fs.Width
+	if width == WidthAuto {
+		width = fs.autoWidth()
 	}
-	if workers <= 1 {
+	lanes, err := lanesForWidth(width)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return fs.Detects(seq, faults)
 	}
 	if err := fs.simulateGood(seq); err != nil {
 		return nil, err
 	}
 	detected := make([]bool, len(faults))
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			bc := fs.getBatchCtx()
-			defer fs.putBatchCtx(bc)
-			for start := range jobs {
-				end := start + 63
-				if end > len(faults) {
-					end = len(faults)
-				}
-				fs.runBatch(bc, len(seq), faults[start:end], detected[start:end])
-			}
-		}()
+	if len(faults) == 0 {
+		return detected, nil
 	}
-	var err error
-dispatch:
-	for start := 0; start < len(faults); start += 63 {
-		select {
-		case jobs <- start:
-		case <-ctx.Done():
-			err = ctx.Err()
-			break dispatch
-		}
+	switch lanes {
+	case 1:
+		err = runAll[[1]uint64](fs, ctx, seq, faults, detected, workers)
+	case 2:
+		err = runAll[[2]uint64](fs, ctx, seq, faults, detected, workers)
+	default:
+		err = runAll[[4]uint64](fs, ctx, seq, faults, detected, workers)
 	}
-	close(jobs)
-	wg.Wait()
 	if err != nil {
 		return nil, err
 	}
 	return detected, nil
+}
+
+// runAll partitions the batch index space [0, nBatches) into one
+// contiguous span per worker. Each worker owns its arena for the whole
+// call (counters merge once, on release) and reports into its own error
+// slot — no channels, no shared mutable state beyond the final atomic
+// stats merge.
+func runAll[L lanes](fs *Simulator, ctx context.Context, seq [][]sim.Val, faults []Fault, detected []bool, workers int) error {
+	per := faultsPerPass[L]()
+	nBatches := (len(faults) + per - 1) / per
+	if workers > nBatches {
+		workers = nBatches
+	}
+	// Replicate the good rows to this lane shape once, up front — the
+	// cache write must happen before any worker can read it.
+	rows := wideRows[L](fs)
+	if workers <= 1 {
+		bc := getBatchCtx[L](fs)
+		defer putBatchCtx(fs, bc)
+		return runRange(fs, bc, ctx, rows, seq, faults, detected, 0, nBatches)
+	}
+	span := (nBatches + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * span
+		hi := min(lo+span, nBatches)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bc := getBatchCtx[L](fs)
+			defer putBatchCtx(fs, bc)
+			errs[w] = runRange(fs, bc, ctx, rows, seq, faults, detected, lo, hi)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRange simulates batches [lo, hi), checking for cancellation
+// between batches.
+func runRange[L lanes](fs *Simulator, bc *batchCtx[L], ctx context.Context, rows [][]pword[L], seq [][]sim.Val, faults []Fault, detected []bool, lo, hi int) error {
+	per := faultsPerPass[L]()
+	for b := lo; b < hi; b++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		start := b * per
+		end := min(start+per, len(faults))
+		runBatch(fs, bc, rows, len(seq), faults[start:end], detected[start:end])
+	}
+	return nil
 }

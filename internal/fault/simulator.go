@@ -11,59 +11,40 @@ import (
 )
 
 // Simulator is a PROOFS-style bit-parallel sequential fault simulator.
-// Bit 0 of every word carries the good circuit; bits 1..63 carry faulty
-// circuits, 63 faults per pass. All circuits start at the all-X
-// power-up state; test sequences are expected to begin with the reset
-// vector (plus the flush prefix for retimed circuits).
+// Faulty circuits ride in wide words of W 64-bit lanes (a lane group);
+// a pass carries Width faults (63, 127 or 255 — one bit per fault,
+// with bit 0 reserved for the broadcast good value). All circuits start
+// at the all-X power-up state; test sequences are expected to begin
+// with the reset vector (plus the flush prefix for retimed circuits).
 //
 // The kernel exploits the PROOFS observation that faulty activity is
 // confined to the fault's fanout region:
 //
 //   - the good circuit is simulated once per sequence with an
 //     event-driven scheduler and its per-frame values are shared,
-//     read-only, by every 63-fault batch;
+//     read-only, by every batch;
 //   - each batch evaluates only its active region — gates whose
-//     parallel word differs from the broadcast good value — via an
-//     event queue seeded at the injection sites and at flip-flops whose
-//     faulty state diverged, falling back to oblivious in-order
+//     parallel lane group differs from the broadcast good value — via
+//     an event queue seeded at the injection sites and at flip-flops
+//     whose faulty state diverged, falling back to oblivious in-order
 //     evaluation when a frame's activity exceeds FallbackEvals;
-//   - detection is word-level: one mask extraction per primary output
-//     per frame instead of 63 bit probes, and a batch terminates early
-//     once every fault in it is detected.
+//   - detection is word-level: one mask accumulation per primary
+//     output per frame instead of per-fault bit probes, and a batch
+//     terminates early once every fault in it is detected.
 //
-// Internally the circuit is flattened into position-indexed arrays
-// (topological position, not gate id): gate kinds, a fanin CSR, and a
-// combinational-fanout CSR. Both the event scheduler and the oblivious
-// fallback walk these flat arrays, which is what keeps the per-gate
-// evaluation cost low.
+// The hot path runs over the circuit's structure-of-arrays view
+// (netlist.SoA): gate kinds, a fanin CSR and a combinational-fanout
+// CSR as flat position-indexed slices, so both the event scheduler and
+// the oblivious sweep stream through memory instead of chasing
+// per-gate pointers. Per-batch mutable state lives in pooled arenas
+// (batchCtx) that reset in O(batch) between passes.
 //
 // A Simulator may not run two Detects* calls concurrently (the good
 // values are shared scratch state), but DetectsParallel itself fans the
 // batches of one call out over a worker pool safely.
 type Simulator struct {
-	c     *netlist.Circuit
-	order []int // position -> gate id
-	pos   []int // gate id -> position
-
-	// Flat, position-indexed circuit structure.
-	kind     []netlist.GateType
-	faninOff []int32 // kind/fanin CSR: fanins of position p are fanin[faninOff[p]:faninOff[p+1]]
-	fanin    []int32 // fanin positions
-	foutOff  []int32 // combinational (non-DFF) fanout CSR
-	fout     []int32 // fanout positions; always later than their driver
-	piPos    []int32 // primary-input order -> position
-	poPos    []int32 // primary-output order -> position
-	dffPos   []int32 // DFF index -> position of the DFF gate
-	dffD     []int32 // DFF index -> position of its D fanin
-	dffAt    []int32 // position -> DFF index, -1 otherwise
-
-	// evalGates is how many gates the oblivious kernel evaluates per
-	// frame (everything except Input and DFF loads); the baseline for
-	// the evals-avoided statistic. evalsBefore[p] counts those gates at
-	// positions < p, so an oblivious tail sweep from p performs
-	// evalGates - evalsBefore[p] evaluations.
-	evalGates   int
-	evalsBefore []int32
+	c   *netlist.Circuit
+	soa *netlist.SoA
 
 	// FallbackEvals is the per-frame gate-evaluation threshold beyond
 	// which a batch finishes the frame with oblivious in-order
@@ -74,6 +55,16 @@ type Simulator struct {
 	// disables the fallback. Set before simulating; it must not change
 	// while a Detects* call is running.
 	FallbackEvals int
+
+	// Width is the number of faults a single pass carries: 63 (one
+	// 64-bit lane), 127 (two lanes) or 255 (four lanes). Zero selects
+	// 63, the narrow kernel. Results are byte-identical for every
+	// width — wider lane groups only amortize the per-gate scheduling
+	// and memory traffic over more faults — so Width, like the worker
+	// count, is a machine-local throughput knob that must not affect
+	// checkpoints or effort accounting. Set before simulating; it must
+	// not change while a Detects* call is running.
+	Width int
 
 	// Good-circuit values per frame of the current sequence as
 	// broadcast words, shared read-only across batches. gDelta[t] lists
@@ -87,14 +78,70 @@ type Simulator struct {
 	gState   []sim.Val
 	gPend    []uint64 // pending-event bitset by position
 
-	batches sync.Pool // *batchCtx
+	// wrows caches goodRows replicated to each lane shape (a
+	// [][]pword[L] per slot, indexed by laneIdx like pools), rebuilt
+	// from goodRows at the start of every Detects* call and shared
+	// read-only by its batches as the bulk-fill source.
+	wrows [3]any
+
+	// pools holds the per-width batch-arena pools, indexed by
+	// laneIdx(W); workers each hold their own arena while running.
+	pools [3]sync.Pool
 
 	stats kernelStats
 }
 
-// kernelStats holds the monotone activity counters; fields are updated
-// atomically so parallel batch workers can share them.
+// Width values accepted by the kernel: faults per pass for lane groups
+// of one, two and four 64-bit words.
+const (
+	Width63  = 63
+	Width127 = 127
+	Width255 = 255
+	// WidthMax is the widest kernel: 255 faults per lane group. It does
+	// the fewest passes but unions 255 fault cones' active regions per
+	// batch, so it only wins when the active region has little to avoid.
+	WidthMax = Width255
+	// WidthAuto lets the simulator pick the width per call from its own
+	// measured activity (see autoWidth). Callers that only consume
+	// detection verdicts — which are byte-identical across widths —
+	// should prefer it.
+	WidthAuto = -1
+)
+
+// autoWideFrac is the avoided-work fraction below which WidthAuto
+// switches from the narrow event-driven kernel to the wide one.
+// Empirically the benchmark circuits sit well apart: the mid-size
+// control circuit avoids ~83% of the oblivious work at Width63 (narrow
+// is ~1.2x faster than wide there), while the small high-activity one
+// avoids ~59% (wide is ~1.3x faster). 0.7 splits the regimes with
+// margin on both sides.
+const autoWideFrac = 0.7
+
+// autoWidth resolves WidthAuto from the measured activity counters.
+// Narrow batches win while the active region avoids most of the
+// oblivious per-frame work: merging 255 fault cones into one batch
+// unions their active regions, which costs more than the 4x lane
+// packing saves. When avoidance drops below autoWideFrac — small or
+// high-activity circuits where per-batch fixed costs dominate — the
+// wide kernel's pass-count reduction wins instead. With no history yet
+// (first call, or right after ResetStats) it probes narrow, the
+// cheaper mistake on unknown workloads.
+func (fs *Simulator) autoWidth() int {
+	evals := atomic.LoadInt64(&fs.stats.gateEvals)
+	avoided := atomic.LoadInt64(&fs.stats.avoided)
+	if total := evals + avoided; total == 0 || float64(avoided) >= autoWideFrac*float64(total) {
+		return Width63
+	}
+	return Width255
+}
+
+// kernelStats holds the monotone activity counters. Workers accumulate
+// locally in their batch arenas and merge here once per arena release,
+// so the only cross-core traffic is one atomic add per counter per
+// worker per call. The pads keep the write-hot line from false-sharing
+// with the read-only simulator fields around it.
 type kernelStats struct {
+	_          [64]byte
 	sequences  int64
 	batches    int64
 	frames     int64
@@ -104,13 +151,14 @@ type kernelStats struct {
 	avoided    int64
 	fallbacks  int64
 	earlyExits int64
+	_          [64]byte
 }
 
 // Stats is a snapshot of the kernel's activity counters since the last
 // Reset (or since construction).
 type Stats struct {
 	Sequences int64 // good-circuit sequence simulations
-	Batches   int64 // 63-fault batch passes
+	Batches   int64 // fault-batch passes (up to Width faults each)
 	Frames    int64 // batch frames simulated (before early exits)
 	Events    int64 // gate events processed by the active-region scheduler
 	GoodEvals int64 // scalar gate evaluations in the shared good simulation
@@ -145,76 +193,36 @@ func (fs *Simulator) ResetStats() {
 
 // NewSimulator builds a fault simulator for the circuit.
 func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
-	order, err := c.TopoOrder()
+	soa, err := netlist.NewSoA(c)
 	if err != nil {
 		return nil, err
 	}
-	n := len(c.Gates)
-	fs := &Simulator{
-		c:           c,
-		order:       order,
-		pos:         make([]int, n),
-		kind:        make([]netlist.GateType, n),
-		dffAt:       make([]int32, n),
-		evalsBefore: make([]int32, n+1),
-		gVals:       make([]sim.Val, n),
-		gState:      make([]sim.Val, len(c.DFFs)),
-		gPend:       make([]uint64, (n+63)/64),
+	n := soa.NumGates()
+	return &Simulator{
+		c:      c,
+		soa:    soa,
+		gVals:  make([]sim.Val, n),
+		gState: make([]sim.Val, soa.NumDFFs()),
+		gPend:  make([]uint64, (n+63)/64),
+	}, nil
+}
+
+// SoA exposes the flattened circuit view the kernel runs on.
+func (fs *Simulator) SoA() *netlist.SoA { return fs.soa }
+
+// lanesForWidth maps a Width value to its lane count (64-bit words per
+// lane group).
+func lanesForWidth(width int) (int, error) {
+	switch width {
+	case 0, Width63:
+		return 1, nil
+	case Width127:
+		return 2, nil
+	case Width255:
+		return 4, nil
+	default:
+		return 0, fmt.Errorf("fault: width %d, want %d, %d or %d", width, Width63, Width127, Width255)
 	}
-	for p, id := range order {
-		fs.pos[id] = p
-	}
-	nfan := 0
-	for p, id := range order {
-		g := &c.Gates[id]
-		fs.kind[p] = g.Type
-		nfan += len(g.Fanin)
-		fs.evalsBefore[p] = int32(fs.evalGates)
-		switch g.Type {
-		case netlist.Input, netlist.DFF:
-		default:
-			fs.evalGates++
-		}
-	}
-	fs.evalsBefore[n] = int32(fs.evalGates)
-	fs.faninOff = make([]int32, n+1)
-	fs.fanin = make([]int32, 0, nfan)
-	fanouts := c.Fanouts()
-	fs.foutOff = make([]int32, n+1)
-	fs.fout = make([]int32, 0, nfan)
-	for p, id := range order {
-		fs.faninOff[p] = int32(len(fs.fanin))
-		for _, f := range c.Gates[id].Fanin {
-			fs.fanin = append(fs.fanin, int32(fs.pos[f]))
-		}
-		fs.foutOff[p] = int32(len(fs.fout))
-		for _, o := range fanouts[id] {
-			if c.Gates[o].Type != netlist.DFF {
-				fs.fout = append(fs.fout, int32(fs.pos[o]))
-			}
-		}
-	}
-	fs.faninOff[n] = int32(len(fs.fanin))
-	fs.foutOff[n] = int32(len(fs.fout))
-	fs.piPos = make([]int32, len(c.PIs))
-	for i, id := range c.PIs {
-		fs.piPos[i] = int32(fs.pos[id])
-	}
-	fs.poPos = make([]int32, len(c.POs))
-	for i, id := range c.POs {
-		fs.poPos[i] = int32(fs.pos[id])
-	}
-	for p := range fs.dffAt {
-		fs.dffAt[p] = -1
-	}
-	fs.dffPos = make([]int32, len(c.DFFs))
-	fs.dffD = make([]int32, len(c.DFFs))
-	for i, id := range c.DFFs {
-		fs.dffPos[i] = int32(fs.pos[id])
-		fs.dffD[i] = int32(fs.pos[c.Gates[id].Fanin[0]])
-		fs.dffAt[fs.pos[id]] = int32(i)
-	}
-	return fs, nil
 }
 
 // fallbackThreshold resolves FallbackEvals: 0 means three quarters of
@@ -226,7 +234,7 @@ func (fs *Simulator) fallbackThreshold() int {
 	case fs.FallbackEvals < 0:
 		return 1 << 30
 	default:
-		return fs.evalGates * 3 / 4
+		return fs.soa.EvalGates * 3 / 4
 	}
 }
 
@@ -259,108 +267,32 @@ var (
 	notTab = [3]sim.Val{sim.V1, sim.V0, sim.VX}
 )
 
-// injection describes where a batch member's fault manifests.
-type injection struct {
-	bit uint
-	pin int // -1 for output stem
-	sa  sim.Val
-}
-
-// batchCtx is the per-batch mutable state. Every slice is indexed by
-// topological position (state by DFF index) and reused across batches;
-// workers each hold their own batchCtx from the pool.
-//
-// The kernel's core invariant: at every point inside a frame, vals[p]
-// is the position's word for that frame if it has been evaluated, and
-// the broadcast good word otherwise. Event frames restore the invariant
-// at the frame boundary by repairing just the touched positions with
-// the next frame's good row; frames finished by an oblivious sweep
-// repair with one bulk copy. Reads therefore never need a liveness
-// check.
-type batchCtx struct {
-	vals     []sim.PVal
-	touched  []int32 // positions stored by the current event frame
-	state    []sim.PVal
-	inject   [][]injection
-	injSites []int32
-	sites    []int32  // injSites sorted by position, for the sweep segments
-	seed     []uint64 // frame seed bitset: sites that still carry live faults
-	pend     []uint64 // pending-event bitset by position
-	faninBuf []sim.PVal
-
-	// activity counters, accumulated across the batches this context
-	// served and folded into the Simulator's atomics on release
-	nbatches, frames, events, evals, fallbacks, earlyExits int64
-}
-
-func (fs *Simulator) getBatchCtx() *batchCtx {
-	if v := fs.batches.Get(); v != nil {
-		return v.(*batchCtx)
-	}
-	n := len(fs.c.Gates)
-	return &batchCtx{
-		vals:     make([]sim.PVal, n),
-		state:    make([]sim.PVal, len(fs.c.DFFs)),
-		inject:   make([][]injection, n),
-		seed:     make([]uint64, (n+63)/64),
-		pend:     make([]uint64, (n+63)/64),
-		faninBuf: make([]sim.PVal, netlist.MaxFanin),
-	}
-}
-
-func (fs *Simulator) putBatchCtx(bc *batchCtx) {
-	atomic.AddInt64(&fs.stats.batches, bc.nbatches)
-	atomic.AddInt64(&fs.stats.frames, bc.frames)
-	atomic.AddInt64(&fs.stats.events, bc.events)
-	atomic.AddInt64(&fs.stats.gateEvals, bc.evals)
-	atomic.AddInt64(&fs.stats.avoided, bc.frames*int64(fs.evalGates)-bc.evals)
-	atomic.AddInt64(&fs.stats.fallbacks, bc.fallbacks)
-	atomic.AddInt64(&fs.stats.earlyExits, bc.earlyExits)
-	bc.nbatches, bc.frames, bc.events, bc.evals, bc.fallbacks, bc.earlyExits = 0, 0, 0, 0, 0, 0
-	fs.batches.Put(bc)
-}
-
 // Detects fault-simulates the test sequence against the fault list and
 // returns a parallel slice: detected[i] is true when applying the
 // sequence from power-up exposes faults[i] at a primary output (good
 // and faulty values both binary and different). Each input vector must
 // have one value per primary input.
 //
-// Faults are batched 63 at a time in the order given. CollapsedUniverse
-// emits faults gate by gate, so consecutive faults already share fanout
-// cones — the locality the active region feeds on.
+// Faults are batched Width at a time in the order given.
+// CollapsedUniverse emits faults gate by gate, so consecutive faults
+// already share fanout cones — the locality the active region feeds on.
 func (fs *Simulator) Detects(seq [][]sim.Val, faults []Fault) ([]bool, error) {
-	detected := make([]bool, len(faults))
-	if len(faults) == 0 {
-		return detected, nil
-	}
-	if err := fs.simulateGood(seq); err != nil {
-		return nil, err
-	}
-	bc := fs.getBatchCtx()
-	defer fs.putBatchCtx(bc)
-	for start := 0; start < len(faults); start += 63 {
-		end := start + 63
-		if end > len(faults) {
-			end = len(faults)
-		}
-		fs.runBatch(bc, len(seq), faults[start:end], detected[start:end])
-	}
-	return detected, nil
+	return fs.detects(nil, seq, faults, 1)
 }
 
 // DetectsOne is the single-fault fast path used by the engines to
 // confirm a candidate test: one injection bit, one active region, and
-// the batch terminates at the first detecting frame — no 63-wide batch
-// is spun up around the lone fault.
+// the batch terminates at the first detecting frame. It always runs the
+// one-lane kernel — no wide batch is spun up around the lone fault.
 func (fs *Simulator) DetectsOne(seq [][]sim.Val, f Fault) (bool, error) {
 	if err := fs.simulateGood(seq); err != nil {
 		return false, err
 	}
 	var detected [1]bool
-	bc := fs.getBatchCtx()
-	defer fs.putBatchCtx(bc)
-	fs.runBatch(bc, len(seq), []Fault{f}, detected[:])
+	rows := wideRows[[1]uint64](fs)
+	bc := getBatchCtx[[1]uint64](fs)
+	defer putBatchCtx(fs, bc)
+	runBatch(fs, bc, rows, len(seq), []Fault{f}, detected[:])
 	return detected[0], nil
 }
 
@@ -370,8 +302,8 @@ func (fs *Simulator) DetectsOne(seq [][]sim.Val, f Fault) (bool, error) {
 // also validates the vector widths, so runBatch cannot fail.
 func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 	for _, vec := range seq {
-		if len(vec) != len(fs.piPos) {
-			return fmt.Errorf("fault: vector width %d, want %d", len(vec), len(fs.piPos))
+		if len(vec) != len(fs.soa.PIPos) {
+			return fmt.Errorf("fault: vector width %d, want %d", len(vec), len(fs.soa.PIPos))
 		}
 	}
 	atomic.AddInt64(&fs.stats.sequences, 1)
@@ -379,9 +311,10 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 		fs.goodRows = make([][]sim.PVal, len(seq))
 	}
 	fs.goodRows = fs.goodRows[:len(seq)]
+	n := fs.soa.NumGates()
 	for t := range fs.goodRows {
 		if fs.goodRows[t] == nil {
-			fs.goodRows[t] = make([]sim.PVal, len(fs.order))
+			fs.goodRows[t] = make([]sim.PVal, n)
 		}
 	}
 	if cap(fs.gDelta) < len(seq) {
@@ -402,27 +335,28 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 	for i := range fs.gPend {
 		fs.gPend[i] = ^uint64(0)
 	}
-	if r := uint(len(fs.order)) & 63; r != 0 {
+	if r := uint(n) & 63; r != 0 {
 		fs.gPend[len(fs.gPend)-1] = 1<<r - 1
 	}
 
+	fout, foutOff := fs.soa.Fout, fs.soa.FoutOff
 	var goodEvals int64
 	for t, vec := range seq {
 		delta := fs.gDelta[t][:0]
-		for i, p := range fs.piPos {
+		for i, p := range fs.soa.PIPos {
 			if fs.gVals[p] != vec[i] {
 				fs.gVals[p] = vec[i]
 				delta = append(delta, p)
-				for _, o := range fs.fout[fs.foutOff[p]:fs.foutOff[p+1]] {
+				for _, o := range fout[foutOff[p]:foutOff[p+1]] {
 					fs.gSchedule(o)
 				}
 			}
 		}
-		for i, p := range fs.dffPos {
+		for i, p := range fs.soa.DFFPos {
 			if fs.gVals[p] != fs.gState[i] {
 				fs.gVals[p] = fs.gState[i]
 				delta = append(delta, p)
-				for _, o := range fs.fout[fs.foutOff[p]:fs.foutOff[p+1]] {
+				for _, o := range fout[foutOff[p]:foutOff[p+1]] {
 					fs.gSchedule(o)
 				}
 			}
@@ -432,7 +366,7 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 				b := bits.TrailingZeros64(fs.gPend[wi])
 				fs.gPend[wi] &^= 1 << uint(b)
 				p := wi<<6 | b
-				kind := fs.kind[p]
+				kind := fs.soa.Kind[p]
 				if kind == netlist.Input || kind == netlist.DFF {
 					continue // loaded above; changes already propagated
 				}
@@ -441,7 +375,7 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 				if v != fs.gVals[p] {
 					fs.gVals[p] = v
 					delta = append(delta, int32(p))
-					for _, o := range fs.fout[fs.foutOff[p]:fs.foutOff[p+1]] {
+					for _, o := range fout[foutOff[p]:foutOff[p+1]] {
 						fs.gSchedule(o)
 					}
 				}
@@ -452,7 +386,7 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 		for p, v := range fs.gVals {
 			row[p] = pconstTab[v]
 		}
-		for i, dp := range fs.dffD {
+		for i, dp := range fs.soa.DFFD {
 			fs.gState[i] = fs.gVals[dp]
 		}
 	}
@@ -464,7 +398,7 @@ func (fs *Simulator) simulateGood(seq [][]sim.Val) error {
 // lookup tables above; semantically identical to sim.EvalGate on the
 // gate's fanin values.
 func (fs *Simulator) evalGoodPos(p int, kind netlist.GateType) sim.Val {
-	off, end := fs.faninOff[p], fs.faninOff[p+1]
+	off, end := fs.soa.FaninOff[p], fs.soa.FaninOff[p+1]
 	if off == end {
 		switch kind {
 		case netlist.Const0:
@@ -475,25 +409,26 @@ func (fs *Simulator) evalGoodPos(p int, kind netlist.GateType) sim.Val {
 			return sim.VX
 		}
 	}
-	v := fs.gVals[fs.fanin[off]]
+	fan := fs.soa.Fanin
+	v := fs.gVals[fan[off]]
 	switch kind {
 	case netlist.And, netlist.Nand:
 		for k := off + 1; k < end; k++ {
-			v = andTab[v][fs.gVals[fs.fanin[k]]]
+			v = andTab[v][fs.gVals[fan[k]]]
 		}
 		if kind == netlist.Nand {
 			v = notTab[v]
 		}
 	case netlist.Or, netlist.Nor:
 		for k := off + 1; k < end; k++ {
-			v = orTab[v][fs.gVals[fs.fanin[k]]]
+			v = orTab[v][fs.gVals[fan[k]]]
 		}
 		if kind == netlist.Nor {
 			v = notTab[v]
 		}
 	case netlist.Xor, netlist.Xnor:
 		for k := off + 1; k < end; k++ {
-			v = xorTab[v][fs.gVals[fs.fanin[k]]]
+			v = xorTab[v][fs.gVals[fan[k]]]
 		}
 		if kind == netlist.Xnor {
 			v = notTab[v]
@@ -514,449 +449,6 @@ func (fs *Simulator) evalGoodPos(p int, kind netlist.GateType) sim.Val {
 
 func (fs *Simulator) gSchedule(p int32) {
 	fs.gPend[p>>6] |= 1 << (uint32(p) & 63)
-}
-
-// runBatch simulates one batch of up to 63 faults against the good
-// values recorded by simulateGood. Bit i+1 of every word carries
-// faults[i]; a gate enters the batch's active region the first frame
-// its word diverges from the broadcast good value. The injection
-// tables are cleared on return so the context can serve the next batch.
-func (fs *Simulator) runBatch(bc *batchCtx, frames int, faults []Fault, detected []bool) {
-	bc.nbatches++
-	for i := range faults {
-		f := &faults[i]
-		p := int32(fs.pos[f.Gate])
-		if len(bc.inject[p]) == 0 {
-			bc.injSites = append(bc.injSites, p)
-		}
-		bc.inject[p] = append(bc.inject[p], injection{bit: uint(i + 1), pin: f.Pin, sa: f.SA})
-	}
-	bc.sites = append(bc.sites[:0], bc.injSites...)
-	for i := 1; i < len(bc.sites); i++ { // ≤63 sites: insertion sort
-		for j := i; j > 0 && bc.sites[j] < bc.sites[j-1]; j-- {
-			bc.sites[j], bc.sites[j-1] = bc.sites[j-1], bc.sites[j]
-		}
-	}
-	for i := range bc.seed {
-		bc.seed[i] = 0
-	}
-	for _, p := range bc.injSites {
-		bc.seed[p>>6] |= 1 << (uint32(p) & 63)
-	}
-	var detectedMask, fullMask uint64
-	for i := range faults {
-		fullMask |= 1 << uint(i+1)
-	}
-	state := bc.state
-	for i := range state {
-		state[i] = sim.PX()
-	}
-	threshold := fs.fallbackThreshold()
-
-	// Establish the frame invariant for t = 0: every position holds its
-	// broadcast good word until an evaluation stores a diverged one.
-	bc.touched = bc.touched[:0]
-	if frames > 0 {
-		copy(bc.vals, fs.goodRows[0])
-	}
-
-	// dense remembers that the previous frame's activity exceeded the
-	// threshold: the next frame then skips event scheduling entirely and
-	// runs the tight full-frame sweep, returning to event mode once the
-	// measured active region shrinks again.
-	dense := false
-	var dropped uint64 // detected bits already removed from the batch
-	for t := 0; t < frames; t++ {
-		row := fs.goodRows[t]
-		bc.frames++
-
-		sweptAll := dense
-		if dense {
-			active := fs.sweepFrom(bc, row, 0)
-			bc.evals += int64(fs.evalGates)
-			bc.fallbacks++
-			dense = 2*active >= threshold
-		} else {
-			// Seed the frame's events: injection sites (a batch-constant
-			// bitset), and flip-flops whose faulty word diverged from the
-			// good state.
-			copy(bc.pend, bc.seed)
-			for i, p := range fs.dffPos {
-				if state[i] != row[p] {
-					bc.pend[p>>6] |= 1 << (uint32(p) & 63)
-				}
-			}
-			evals := 0
-		drain:
-			for wi := 0; wi < len(bc.pend); wi++ {
-				for bc.pend[wi] != 0 {
-					b := bits.TrailingZeros64(bc.pend[wi])
-					bc.pend[wi] &^= 1 << uint(b)
-					p := wi<<6 | b
-					if evals >= threshold {
-						// Too active: finish the frame obliviously from
-						// here. Everything before position p is final —
-						// evaluated, or holding its good word by the frame
-						// invariant — so a plain in-order sweep over the
-						// tail is exact.
-						for j := wi; j < len(bc.pend); j++ {
-							bc.pend[j] = 0
-						}
-						fs.sweepFrom(bc, row, p)
-						evals = int(int32(fs.evalGates)-fs.evalsBefore[p]) + evals
-						bc.fallbacks++
-						dense = true
-						sweptAll = true
-						break drain
-					}
-					bc.events++
-					if fs.evalPos(bc, p, row, false) {
-						evals++
-					}
-				}
-			}
-			bc.evals += int64(evals)
-		}
-
-		// Word-level detection: good binary, faulty binary, different.
-		// A broadcast row word is all-Zero (or all-One) exactly when the
-		// good value is the binary 0 (or 1); an inactive output still
-		// holds the good word, contributing nothing.
-		for _, p := range fs.poPos {
-			switch g := row[p]; {
-			case g.Zero == ^uint64(0):
-				detectedMask |= bc.vals[p].One & fullMask
-			case g.One == ^uint64(0):
-				detectedMask |= bc.vals[p].Zero & fullMask
-			}
-		}
-
-		if detectedMask == fullMask {
-			if t+1 < frames {
-				bc.earlyExits++
-			}
-			break
-		}
-
-		// Drop detected faults (the PROOFS fault-drop): their bits no
-		// longer matter, so removing their injections and steering their
-		// state bits back to the good values shrinks the active region
-		// for the rest of the sequence. Undetected bits never read a
-		// detected bit — the two-rail algebra is bitwise — so their
-		// trajectories are untouched.
-		if detectedMask != dropped {
-			for _, p := range bc.injSites {
-				injs := bc.inject[p]
-				kept := injs[:0]
-				for _, inj := range injs {
-					if detectedMask>>inj.bit&1 == 0 {
-						kept = append(kept, inj)
-					}
-				}
-				bc.inject[p] = kept
-			}
-			// Sites whose faults are all detected stop seeding frames
-			// (and stop segmenting the sweep).
-			sites := bc.sites[:0]
-			for _, p := range bc.sites {
-				if len(bc.inject[p]) != 0 {
-					sites = append(sites, p)
-				}
-			}
-			bc.sites = sites
-			for i := range bc.seed {
-				bc.seed[i] = 0
-			}
-			for _, p := range bc.sites {
-				bc.seed[p>>6] |= 1 << (uint32(p) & 63)
-			}
-			dropped = detectedMask
-		}
-
-		// Clock edge: capture D values; a stem fault on the DFF itself
-		// (or a branch fault on its D input) pins the next Q value.
-		// Detected bits are forced back to the good next state.
-		for i, dp := range fs.dffD {
-			w := bc.vals[dp]
-			for _, inj := range bc.inject[fs.dffPos[i]] {
-				if inj.pin <= 0 {
-					w.Set(inj.bit, inj.sa)
-				}
-			}
-			g := row[dp]
-			w.Zero = w.Zero&^dropped | g.Zero&dropped
-			w.One = w.One&^dropped | g.One&dropped
-			state[i] = w
-		}
-
-		// Restore the frame invariant for the next frame: positions this
-		// frame diverged, and positions whose good value changes between
-		// the frames, get the next good row; everything else already holds
-		// it. Swept frames skip the bookkeeping with one bulk copy.
-		if t+1 < frames {
-			next := fs.goodRows[t+1]
-			if sweptAll {
-				copy(bc.vals, next)
-			} else {
-				for _, q := range bc.touched {
-					bc.vals[q] = next[q]
-				}
-				for _, q := range fs.gDelta[t+1] {
-					bc.vals[q] = next[q]
-				}
-			}
-		}
-		bc.touched = bc.touched[:0]
-	}
-	for i := range faults {
-		detected[i] = detectedMask>>uint(i+1)&1 == 1
-	}
-	// Clear the injection tables (O(batch), not O(gates)).
-	for _, p := range bc.injSites {
-		bc.inject[p] = bc.inject[p][:0]
-	}
-	bc.injSites = bc.injSites[:0]
-}
-
-// sweepFrom evaluates every position in [from, len) in topological
-// order for the current frame — the oblivious kernel, used for a whole
-// frame when the previous one showed the active region covering most of
-// the circuit (from = 0), and for the tail when the event scheduler
-// trips the fallback threshold mid-frame. Each gate's fanins are
-// current when it is reached: earlier swept positions were just stored,
-// and everything else holds its value by the frame invariant. Because
-// the (at most 63) injection sites are visited between segments of the
-// sorted site list, the hot loop never touches the injection tables at
-// all. It returns the number of positions whose word diverges from the
-// broadcast good value, which drives the switch back to event mode.
-//
-// The two-rail folds mirror foldVals (and sim.EvalGateP) exactly.
-func (fs *Simulator) sweepFrom(bc *batchCtx, row []sim.PVal, from int) (active int) {
-	vals := bc.vals
-	kinds, faninOff, fan := fs.kind, fs.faninOff, fs.fanin
-	n0 := 0
-	for n0 < len(bc.sites) && int(bc.sites[n0]) < from {
-		n0++
-	}
-	start := from
-	for n := n0; n <= len(bc.sites); n++ {
-		stop := len(kinds)
-		if n < len(bc.sites) {
-			stop = int(bc.sites[n])
-		}
-		for p := start; p < stop; p++ {
-			kind := kinds[p]
-			var w sim.PVal
-			off, end := faninOff[p], faninOff[p+1]
-			if off == end {
-				switch kind {
-				case netlist.Input:
-					w = row[p]
-				default:
-					w = sim.EvalGateP(kind, nil) // Const0/Const1 (or a degenerate gate)
-				}
-				vals[p] = w
-				continue // equal to good by construction
-			}
-			w = vals[fan[off]]
-			switch kind {
-			case netlist.And, netlist.Nand:
-				for k := off + 1; k < end; k++ {
-					b := vals[fan[k]]
-					w.Zero |= b.Zero
-					w.One &= b.One
-				}
-				if kind == netlist.Nand {
-					w = sim.PVal{Zero: w.One, One: w.Zero}
-				}
-			case netlist.Or, netlist.Nor:
-				for k := off + 1; k < end; k++ {
-					b := vals[fan[k]]
-					w.Zero &= b.Zero
-					w.One |= b.One
-				}
-				if kind == netlist.Nor {
-					w = sim.PVal{Zero: w.One, One: w.Zero}
-				}
-			case netlist.Xor, netlist.Xnor:
-				for k := off + 1; k < end; k++ {
-					b := vals[fan[k]]
-					known := (w.Zero | w.One) & (b.Zero | b.One)
-					ones := (w.One & b.Zero) | (w.Zero & b.One)
-					w = sim.PVal{Zero: known &^ ones, One: ones}
-				}
-				if kind == netlist.Xnor {
-					w = sim.PVal{Zero: w.One, One: w.Zero}
-				}
-			case netlist.Not:
-				w = sim.PVal{Zero: w.One, One: w.Zero}
-			case netlist.Buf, netlist.Output:
-				// w is already the single fanin's word.
-			case netlist.DFF:
-				w = bc.state[fs.dffAt[p]]
-			default:
-				in := bc.faninBuf[:end-off]
-				for k := off; k < end; k++ {
-					in[k-off] = vals[fan[k]]
-				}
-				w = sim.EvalGateP(kind, in)
-			}
-			vals[p] = w
-			if w != row[p] {
-				active++
-			}
-		}
-		if n < len(bc.sites) {
-			// Injection site. Stem-only sites (the common case) take the
-			// same inline fold plus the output Sets; a site with a branch
-			// (input-pin) fault goes through the general path.
-			p := int(bc.sites[n])
-			injs := bc.inject[p]
-			branch := false
-			for _, inj := range injs {
-				if inj.pin >= 0 {
-					branch = true
-					break
-				}
-			}
-			if branch {
-				fs.evalPos(bc, p, row, true)
-			} else {
-				var w sim.PVal
-				switch kind := kinds[p]; kind {
-				case netlist.Input:
-					w = row[p]
-				case netlist.DFF:
-					w = bc.state[fs.dffAt[p]]
-				default:
-					w = fs.foldVals(bc, p, kind)
-				}
-				for _, inj := range injs {
-					w.Set(inj.bit, inj.sa) // all stems: pin < 0
-				}
-				vals[p] = w
-			}
-			if vals[p] != row[p] {
-				active++
-			}
-		}
-		start = stop + 1
-	}
-	return active
-}
-
-// foldVals is the no-injection combinational fold over bc.vals, for
-// sweep positions whose fanins are all current; it mirrors the sweep
-// hot loop (and sim.EvalGateP) exactly.
-func (fs *Simulator) foldVals(bc *batchCtx, p int, kind netlist.GateType) sim.PVal {
-	vals, fan := bc.vals, fs.fanin
-	off, end := fs.faninOff[p], fs.faninOff[p+1]
-	if off == end {
-		return sim.EvalGateP(kind, nil)
-	}
-	w := vals[fan[off]]
-	switch kind {
-	case netlist.And, netlist.Nand:
-		for k := off + 1; k < end; k++ {
-			b := vals[fan[k]]
-			w.Zero |= b.Zero
-			w.One &= b.One
-		}
-		if kind == netlist.Nand {
-			w = sim.PVal{Zero: w.One, One: w.Zero}
-		}
-	case netlist.Or, netlist.Nor:
-		for k := off + 1; k < end; k++ {
-			b := vals[fan[k]]
-			w.Zero &= b.Zero
-			w.One |= b.One
-		}
-		if kind == netlist.Nor {
-			w = sim.PVal{Zero: w.One, One: w.Zero}
-		}
-	case netlist.Xor, netlist.Xnor:
-		for k := off + 1; k < end; k++ {
-			b := vals[fan[k]]
-			known := (w.Zero | w.One) & (b.Zero | b.One)
-			ones := (w.One & b.Zero) | (w.Zero & b.One)
-			w = sim.PVal{Zero: known &^ ones, One: ones}
-		}
-		if kind == netlist.Xnor {
-			w = sim.PVal{Zero: w.One, One: w.Zero}
-		}
-	case netlist.Not:
-		w = sim.PVal{Zero: w.One, One: w.Zero}
-	case netlist.Buf, netlist.Output:
-		// w is already the single fanin's word.
-	default:
-		in := bc.faninBuf[:end-off]
-		for k := off; k < end; k++ {
-			in[k-off] = vals[fan[k]]
-		}
-		w = sim.EvalGateP(kind, in)
-	}
-	return w
-}
-
-// evalPos computes one position's parallel word for the current frame
-// — reading fanins straight out of bc.vals, which the frame invariant
-// keeps current — and, when it diverges from the position's present
-// value, stores it, records the position as touched, and (in event
-// mode) schedules the combinational fanouts. In oblivious mode the word
-// is always stored and nothing is scheduled — the caller sweeps every
-// remaining position in topological order anyway. The return value
-// reports whether a parallel gate evaluation was performed (false for
-// Input/DFF loads, which the oblivious kernel never counted).
-//
-// Gates carrying an injection take the generic gather + EvalGateP path
-// so the branch (input-pin) faults apply in one place.
-func (fs *Simulator) evalPos(bc *batchCtx, p int, row []sim.PVal, oblivious bool) bool {
-	kind := fs.kind[p]
-	injs := bc.inject[p]
-	var w sim.PVal
-	evaluated := false
-	switch {
-	case kind == netlist.Input:
-		w = row[p]
-	case kind == netlist.DFF:
-		w = bc.state[fs.dffAt[p]]
-	case len(injs) != 0:
-		// Injection site: gather fanins, apply the branch faults, and
-		// evaluate generically. At most 63 of these per batch.
-		evaluated = true
-		off, end := fs.faninOff[p], fs.faninOff[p+1]
-		in := bc.faninBuf[:end-off]
-		for k := off; k < end; k++ {
-			in[k-off] = bc.vals[fs.fanin[k]]
-		}
-		for _, inj := range injs {
-			if inj.pin >= 0 {
-				in[inj.pin].Set(inj.bit, inj.sa)
-			}
-		}
-		w = sim.EvalGateP(kind, in)
-	default:
-		evaluated = true
-		w = fs.foldVals(bc, p, kind)
-	}
-	// Stem fault injection on the gate output.
-	for _, inj := range injs {
-		if inj.pin < 0 {
-			w.Set(inj.bit, inj.sa)
-		}
-	}
-	if oblivious {
-		bc.vals[p] = w
-		return evaluated
-	}
-	if w != bc.vals[p] {
-		bc.vals[p] = w
-		bc.touched = append(bc.touched, int32(p))
-		for _, o := range fs.fout[fs.foutOff[p]:fs.foutOff[p+1]] {
-			bc.pend[o>>6] |= 1 << (uint32(o) & 63)
-		}
-	}
-	return evaluated
 }
 
 // Coverage summarizes a detection vector.

@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestWidthWorkerMatrix sweeps the full kernel configuration space —
+// lane-group width (63/127/255) × worker count (1/2/3/8) × fallback
+// mode (default active-region, never, always-oblivious) — on randomized
+// circuits and asserts:
+//
+//   - every combination's detection vector is byte-identical to the
+//     narrow serial reference (Width and workers are throughput knobs,
+//     never result knobs);
+//   - at a fixed (width, fallback) point the full Stats snapshot is
+//     identical across worker counts: partitioning changes only the
+//     order the per-arena counters merge in, and the sums are
+//     order-independent;
+//   - the batch count is exactly ceil(nFaults/width) — the wide
+//     kernel really packs more faults per pass.
+func TestWidthWorkerMatrix(t *testing.T) {
+	trials := 5
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < trials; trial++ {
+		c := randomDiffCircuit(t, rng, 2000+trial)
+		faults := FullUniverse(c)
+		seq := randomXSeq(rng, len(c.PIs), 4+rng.Intn(8), 0.25)
+		fs, err := NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := fs.Detects(seq, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, width := range []int{Width63, Width127, Width255} {
+			for _, fb := range []int{0, -1, 1} {
+				fs.Width = width
+				fs.FallbackEvals = fb
+				var want Stats
+				for wi, workers := range []int{1, 2, 3, 8} {
+					fs.ResetStats()
+					got, err := fs.DetectsParallel(context.Background(), seq, faults, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("trial %d width %d fb %d workers %d fault %v: got %v, ref %v",
+								trial, width, fb, workers, faults[i], got[i], ref[i])
+						}
+					}
+					st := fs.Stats()
+					wantBatches := int64((len(faults) + width - 1) / width)
+					if st.Batches != wantBatches {
+						t.Fatalf("trial %d width %d workers %d: %d batches, want %d",
+							trial, width, workers, st.Batches, wantBatches)
+					}
+					if wi == 0 {
+						want = st
+					} else if st != want {
+						t.Fatalf("trial %d width %d fb %d workers %d: stats %+v, want %+v (workers=1)",
+							trial, width, fb, workers, st, want)
+					}
+				}
+			}
+		}
+		fs.Width = 0
+		fs.FallbackEvals = 0
+	}
+}
+
+// TestWidthAuto: the adaptive width starts narrow (no history), tracks
+// the measured avoided-work fraction afterwards, reverts to the narrow
+// probe after ResetStats, and — like every width — never changes
+// results.
+func TestWidthAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	c := randomDiffCircuit(t, rng, 4000)
+	faults := FullUniverse(c)
+	seq := randomXSeq(rng, len(c.PIs), 6, 0.25)
+	fs, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fs.Detects(seq, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Width = WidthAuto
+	fs.ResetStats()
+	if got := fs.autoWidth(); got != Width63 {
+		t.Fatalf("autoWidth without history = %d, want narrow probe %d", got, Width63)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := fs.DetectsParallel(context.Background(), seq, faults, 1+round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("round %d fault %v: auto %v, ref %v", round, faults[i], got[i], ref[i])
+			}
+		}
+		st := fs.Stats()
+		want := Width63
+		if float64(st.GateEvalsAvoided) < autoWideFrac*float64(st.GateEvals+st.GateEvalsAvoided) {
+			want = Width255
+		}
+		if got := fs.autoWidth(); got != want {
+			t.Fatalf("round %d: autoWidth = %d, want %d (evals %d, avoided %d)",
+				round, got, want, st.GateEvals, st.GateEvalsAvoided)
+		}
+	}
+	fs.Width = 0
+}
+
+// TestWidthValidation: only the three supported widths (and the zero
+// default) are accepted, and the error path fires before any
+// simulation work.
+func TestWidthValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomDiffCircuit(t, rng, 2500)
+	fs, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randomXSeq(rng, len(c.PIs), 3, 0.2)
+	faults := FullUniverse(c)
+	for _, bad := range []int{1, 64, 100, 128, 256, -63} {
+		fs.Width = bad
+		if _, err := fs.Detects(seq, faults); err == nil {
+			t.Fatalf("width %d accepted", bad)
+		}
+		if _, err := fs.DetectsParallel(context.Background(), seq, faults, 4); err == nil {
+			t.Fatalf("width %d accepted by DetectsParallel", bad)
+		}
+	}
+}
+
+// TestArenaReuseAcrossPasses hammers the pooled batch arenas: one
+// simulator runs many passes with varying sequences, fault subsets
+// (in shuffled order), widths and worker counts, and every result must
+// match a fresh simulator's. Any state leaking across passes — stale
+// injection tables, seed or pend bits, DFF lane groups, touched lists —
+// shows up as a divergence.
+func TestArenaReuseAcrossPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	c := randomDiffCircuit(t, rng, 3000)
+	faults := FullUniverse(c)
+	fs, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		seq := randomXSeq(rng, len(c.PIs), 3+round, 0.3)
+		perm := rng.Perm(len(faults))
+		n := len(faults)/2 + rng.Intn(len(faults)/2)
+		sub := make([]Fault, n)
+		for i := 0; i < n; i++ {
+			sub[i] = faults[perm[i]]
+		}
+		for _, width := range []int{Width63, Width255, Width127} {
+			fs.Width = width
+			got, err := fs.DetectsParallel(context.Background(), seq, sub, 1+round%3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := NewSimulator(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.Width = width
+			want, err := fresh.Detects(seq, sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d width %d fault %v: reused arena %v, fresh %v",
+						round, width, sub[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchArenaResets white-boxes the arena contract: after runBatch
+// the per-batch tables are empty and the pend bitset fully drained, and
+// releasing the arena zeroes its locally accumulated counters (they
+// have been merged into the simulator's stats).
+func TestBatchArenaResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomDiffCircuit(t, rng, 3500)
+	faults := FullUniverse(c)
+	fs, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randomXSeq(rng, len(c.PIs), 6, 0.2)
+	if err := fs.simulateGood(seq); err != nil {
+		t.Fatal(err)
+	}
+	rows := wideRows[[2]uint64](fs)
+	bc := getBatchCtx[[2]uint64](fs)
+	n := min(len(faults), faultsPerPass[[2]uint64]())
+	detected := make([]bool, n)
+	runBatch(fs, bc, rows, len(seq), faults[:n], detected)
+	if len(bc.injSites) != 0 || len(bc.touched) != 0 {
+		t.Fatalf("arena tables not reset: %d injSites, %d touched",
+			len(bc.injSites), len(bc.touched))
+	}
+	for p, injs := range bc.inject {
+		if len(injs) != 0 {
+			t.Fatalf("inject table at position %d not cleared: %d entries", p, len(injs))
+		}
+	}
+	for i, w := range bc.pend {
+		if w != 0 {
+			t.Fatalf("pend word %d not drained: %#x", i, w)
+		}
+	}
+	if bc.nbatches != 1 {
+		t.Fatalf("arena ran %d batches, want 1", bc.nbatches)
+	}
+	before := fs.Stats()
+	putBatchCtx(fs, bc)
+	after := fs.Stats()
+	if bc.nbatches != 0 || bc.frames != 0 || bc.events != 0 || bc.evals != 0 ||
+		bc.fallbacks != 0 || bc.earlyExits != 0 {
+		t.Fatal("arena counters not zeroed on release")
+	}
+	if after.Batches != before.Batches+1 {
+		t.Fatalf("stats batches %d after release, want %d", after.Batches, before.Batches+1)
+	}
+	// The pooled arena must serve the next batch identically.
+	bc2 := getBatchCtx[[2]uint64](fs)
+	detected2 := make([]bool, n)
+	runBatch(fs, bc2, rows, len(seq), faults[:n], detected2)
+	putBatchCtx(fs, bc2)
+	for i := range detected {
+		if detected[i] != detected2[i] {
+			t.Fatalf("fault %v: first pass %v, pooled rerun %v", faults[i], detected[i], detected2[i])
+		}
+	}
+}

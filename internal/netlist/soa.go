@@ -1,0 +1,120 @@
+package netlist
+
+// SoA is a structure-of-arrays view of a circuit, flattened into
+// position-indexed parallel slices in one topological order of the
+// combinational logic. It exists for the hot paths — levelized
+// evaluation in the simulators and the fault-simulation kernel — where
+// chasing per-gate pointers (Gate.Fanin is a separate heap object per
+// gate) defeats the cache: a levelized sweep over the SoA streams
+// through a handful of flat arrays instead.
+//
+// Positions, not gate ids, index every slice; Pos/Order translate.
+// Fanin and Fout are CSR-encoded: the fanins of position p are
+// Fanin[FaninOff[p]:FaninOff[p+1]], all at earlier positions, and the
+// combinational fanouts (DFF loads excluded — the sequential loop is
+// cut at the flip-flops, which read state, not events) are
+// Fout[FoutOff[p]:FoutOff[p+1]], all at later positions.
+//
+// The view is immutable after construction and safe to share across
+// goroutines; it does not observe later mutations of the Circuit.
+type SoA struct {
+	Order []int32 // position -> gate id
+	Pos   []int32 // gate id -> position
+
+	Kind     []GateType
+	FaninOff []int32
+	Fanin    []int32 // fanin positions, in pin order
+	FoutOff  []int32
+	Fout     []int32 // combinational fanout positions
+
+	PIPos  []int32 // primary-input order -> position
+	POPos  []int32 // primary-output order -> position
+	DFFPos []int32 // DFF index -> position of the DFF gate
+	DFFD   []int32 // DFF index -> position of its D fanin
+	DFFAt  []int32 // position -> DFF index, -1 otherwise
+
+	// EvalGates is how many gates an oblivious levelized sweep
+	// evaluates per frame (everything except Input and DFF loads);
+	// EvalsBefore[p] counts those gates at positions < p, so a sweep
+	// from p performs EvalGates - EvalsBefore[p] evaluations.
+	EvalGates   int
+	EvalsBefore []int32
+}
+
+// NewSoA flattens the circuit into a structure-of-arrays view. It
+// fails only when the combinational logic is cyclic (TopoOrder fails).
+func NewSoA(c *Circuit) (*SoA, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(c.Gates)
+	s := &SoA{
+		Order:       make([]int32, n),
+		Pos:         make([]int32, n),
+		Kind:        make([]GateType, n),
+		DFFAt:       make([]int32, n),
+		EvalsBefore: make([]int32, n+1),
+	}
+	for p, id := range order {
+		s.Order[p] = int32(id)
+		s.Pos[id] = int32(p)
+	}
+	nfan := 0
+	for p, id := range order {
+		g := &c.Gates[id]
+		s.Kind[p] = g.Type
+		nfan += len(g.Fanin)
+		s.EvalsBefore[p] = int32(s.EvalGates)
+		switch g.Type {
+		case Input, DFF:
+		default:
+			s.EvalGates++
+		}
+	}
+	s.EvalsBefore[n] = int32(s.EvalGates)
+	fanouts := c.Fanouts()
+	s.FaninOff = make([]int32, n+1)
+	s.Fanin = make([]int32, 0, nfan)
+	s.FoutOff = make([]int32, n+1)
+	s.Fout = make([]int32, 0, nfan)
+	for p, id := range order {
+		s.FaninOff[p] = int32(len(s.Fanin))
+		for _, f := range c.Gates[id].Fanin {
+			s.Fanin = append(s.Fanin, s.Pos[f])
+		}
+		s.FoutOff[p] = int32(len(s.Fout))
+		for _, o := range fanouts[id] {
+			if c.Gates[o].Type != DFF {
+				s.Fout = append(s.Fout, s.Pos[o])
+			}
+		}
+	}
+	s.FaninOff[n] = int32(len(s.Fanin))
+	s.FoutOff[n] = int32(len(s.Fout))
+	s.PIPos = make([]int32, len(c.PIs))
+	for i, id := range c.PIs {
+		s.PIPos[i] = s.Pos[id]
+	}
+	s.POPos = make([]int32, len(c.POs))
+	for i, id := range c.POs {
+		s.POPos[i] = s.Pos[id]
+	}
+	for p := range s.DFFAt {
+		s.DFFAt[p] = -1
+	}
+	s.DFFPos = make([]int32, len(c.DFFs))
+	s.DFFD = make([]int32, len(c.DFFs))
+	for i, id := range c.DFFs {
+		s.DFFPos[i] = s.Pos[id]
+		s.DFFD[i] = s.Pos[c.Gates[id].Fanin[0]]
+		s.DFFAt[s.Pos[id]] = int32(i)
+	}
+	return s, nil
+}
+
+// NumGates returns the node count of the flattened circuit.
+func (s *SoA) NumGates() int { return len(s.Kind) }
+
+// NumDFFs returns the flip-flop count of the flattened circuit.
+func (s *SoA) NumDFFs() int { return len(s.DFFPos) }

@@ -51,6 +51,13 @@ func (s *Server) Handler() http.Handler {
 	return JSONErrors(mux)
 }
 
+// MetricsHandler exposes the Prometheus metrics endpoint as a
+// standalone handler, for mounting on a side (operations) listener
+// separate from the job API — typically next to the pprof endpoints,
+// where scrapes and profiles stay reachable even when the API
+// listener's timeouts or queue pressure bite.
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
+
 // JSONErrors rewrites the plain-text 404/405 responses http.ServeMux
 // generates itself (unknown endpoint, wrong method) into this API's
 // JSON error shape, so every error response a client sees carries

@@ -92,6 +92,28 @@ func XorV(vals ...Val) Val {
 	return parity
 }
 
+// andTab/orTab/xorTab/notTab are the three-valued gate functions as
+// lookup tables (indexed by Val pairs), the branch-free form the
+// levelized Eval sweep folds over.
+var (
+	andTab = [3][3]Val{
+		V0: {V0, V0, V0},
+		V1: {V0, V1, VX},
+		VX: {V0, VX, VX},
+	}
+	orTab = [3][3]Val{
+		V0: {V0, V1, VX},
+		V1: {V1, V1, V1},
+		VX: {VX, V1, VX},
+	}
+	xorTab = [3][3]Val{
+		V0: {V0, V1, VX},
+		V1: {V1, V0, VX},
+		VX: {VX, VX, VX},
+	}
+	notTab = [3]Val{V1, V0, VX}
+)
+
 // EvalGate computes a gate's output from its fanin values.
 func EvalGate(t netlist.GateType, in []Val) Val {
 	switch t {
@@ -122,24 +144,31 @@ func EvalGate(t netlist.GateType, in []Val) Val {
 
 // Simulator is a scalar three-valued sequential simulator. State lives
 // in the DFFs; Step evaluates one clock cycle.
+//
+// Evaluation runs over the circuit's structure-of-arrays view
+// (netlist.SoA): one levelized sweep streams through flat kind/fanin
+// arrays by topological position with no per-gate allocation, instead
+// of chasing each Gate's separately heap-allocated fanin slice.
 type Simulator struct {
 	c     *netlist.Circuit
-	order []int
-	vals  []Val // per-gate value of the current evaluation
+	soa   *netlist.SoA
+	vals  []Val // per-position value of the current evaluation
+	next  []Val // per-DFF captured D value scratch
 	state []Val // per-DFF Q value (indexed like c.DFFs)
 }
 
 // NewSimulator builds a simulator; the circuit must be valid. All DFFs
 // power up at X.
 func NewSimulator(c *netlist.Circuit) (*Simulator, error) {
-	order, err := c.TopoOrder()
+	soa, err := netlist.NewSoA(c)
 	if err != nil {
 		return nil, err
 	}
 	s := &Simulator{
 		c:     c,
-		order: order,
+		soa:   soa,
 		vals:  make([]Val, len(c.Gates)),
+		next:  make([]Val, len(c.DFFs)),
 		state: make([]Val, len(c.DFFs)),
 	}
 	s.PowerUp()
@@ -195,31 +224,70 @@ func (s *Simulator) StateBits() (uint64, bool) {
 // Eval evaluates the combinational logic for the given PI values without
 // clocking the DFFs, and returns the PO values.
 func (s *Simulator) Eval(inputs []Val) ([]Val, error) {
-	if len(inputs) != len(s.c.PIs) {
-		return nil, fmt.Errorf("sim: %d inputs, want %d", len(inputs), len(s.c.PIs))
+	if len(inputs) != len(s.soa.PIPos) {
+		return nil, fmt.Errorf("sim: %d inputs, want %d", len(inputs), len(s.soa.PIPos))
 	}
-	for i, id := range s.c.PIs {
-		s.vals[id] = inputs[i]
+	for i, p := range s.soa.PIPos {
+		s.vals[p] = inputs[i]
 	}
-	for i, id := range s.c.DFFs {
-		s.vals[id] = s.state[i]
+	for i, p := range s.soa.DFFPos {
+		s.vals[p] = s.state[i]
 	}
-	for _, id := range s.order {
-		g := s.c.Gates[id]
-		switch g.Type {
-		case netlist.Input, netlist.DFF:
-			continue
-		default:
-			in := make([]Val, len(g.Fanin))
-			for k, f := range g.Fanin {
-				in[k] = s.vals[f]
+	kinds, faninOff, fan, vals := s.soa.Kind, s.soa.FaninOff, s.soa.Fanin, s.vals
+	for p := range kinds {
+		kind := kinds[p]
+		off, end := faninOff[p], faninOff[p+1]
+		if off == end {
+			switch kind {
+			case netlist.Const0:
+				vals[p] = V0
+			case netlist.Const1:
+				vals[p] = V1
+			case netlist.Input:
+				// loaded above
+			default:
+				vals[p] = VX
 			}
-			s.vals[id] = EvalGate(g.Type, in)
+			continue
 		}
+		v := vals[fan[off]]
+		switch kind {
+		case netlist.Input, netlist.DFF:
+			// loaded above
+			continue
+		case netlist.And, netlist.Nand:
+			for k := off + 1; k < end; k++ {
+				v = andTab[v][vals[fan[k]]]
+			}
+			if kind == netlist.Nand {
+				v = notTab[v]
+			}
+		case netlist.Or, netlist.Nor:
+			for k := off + 1; k < end; k++ {
+				v = orTab[v][vals[fan[k]]]
+			}
+			if kind == netlist.Nor {
+				v = notTab[v]
+			}
+		case netlist.Xor, netlist.Xnor:
+			for k := off + 1; k < end; k++ {
+				v = xorTab[v][vals[fan[k]]]
+			}
+			if kind == netlist.Xnor {
+				v = notTab[v]
+			}
+		case netlist.Not:
+			v = notTab[v]
+		case netlist.Buf, netlist.Output:
+			// v is already the single fanin's value.
+		default:
+			v = VX
+		}
+		vals[p] = v
 	}
-	outs := make([]Val, len(s.c.POs))
-	for i, id := range s.c.POs {
-		outs[i] = s.vals[id]
+	outs := make([]Val, len(s.soa.POPos))
+	for i, p := range s.soa.POPos {
+		outs[i] = vals[p]
 	}
 	return outs, nil
 }
@@ -232,13 +300,12 @@ func (s *Simulator) Step(inputs []Val) ([]Val, error) {
 	if err != nil {
 		return nil, err
 	}
-	next := make([]Val, len(s.c.DFFs))
-	for i, id := range s.c.DFFs {
-		next[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	for i, dp := range s.soa.DFFD {
+		s.next[i] = s.vals[dp]
 	}
-	copy(s.state, next)
+	copy(s.state, s.next)
 	return outs, nil
 }
 
 // Value returns the value of gate id from the latest evaluation.
-func (s *Simulator) Value(id int) Val { return s.vals[id] }
+func (s *Simulator) Value(id int) Val { return s.vals[s.soa.Pos[id]] }
