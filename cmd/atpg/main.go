@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"seqatpg/internal/atpg"
@@ -74,6 +75,9 @@ func run() int {
 	sharedLearn := flag.Bool("shared-learn", false, "share the justification cache across faults (implies learning; verdict-preserving under generous budgets)")
 	learnCap := flag.Int("learn-cap", 0, "size bound per learning store, oldest evicted first (0 = default 4096)")
 	obliviousSim := flag.Bool("oblivious-sim", false, "verification mode: re-derive every window simulation with a full oblivious sweep (identical results, slower)")
+	cdcl := flag.Bool("cdcl", false, "conflict-driven search: learn blocking cubes from conflicts, backjump non-chronologically, restart on a Luby schedule (verdict-preserving)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
 	if *showVersion {
@@ -137,6 +141,42 @@ func run() int {
 		cfg.LearnCap = *learnCap
 	}
 	cfg.ObliviousSim = *obliviousSim
+	if *cdcl {
+		cfg.ConflictLearning = true
+		cfg.Backjump = true
+		cfg.Restarts = true
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Print(err)
+			return exitSetup
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			log.Print(err)
+			return exitSetup
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			pf, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				log.Print(err)
+			}
+			pf.Close()
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -185,6 +225,10 @@ func run() int {
 	fmt.Printf("states:    %d distinct states traversed\n", len(s.StatesTraversed))
 	if s.LearnHits+s.LearnPrunes > 0 {
 		fmt.Printf("learning:  %d cache hits, %d prunes\n", s.LearnHits, s.LearnPrunes)
+	}
+	if *cdcl || s.LearnedCubes+s.Backjumps+s.Restarts > 0 {
+		fmt.Printf("cdcl:      %d learned cubes, %d backjumps, %d restarts\n",
+			s.LearnedCubes, s.Backjumps, s.Restarts)
 	}
 	for _, cr := range res.Crashes {
 		log.Printf("%v", cr.Error())

@@ -151,7 +151,11 @@ func TestRedundantClassificationSound(t *testing.T) {
 // TestJustificationRequired: a fault whose excitation needs a non-reset
 // state forces backward justification through the state space.
 func TestStatesTraversedRecorded(t *testing.T) {
-	c := synthC(t, 9, 12)
+	states := 9
+	if testing.Short() {
+		states = 7
+	}
+	c := synthC(t, states, 12)
 	e, err := New(c, defaultCfg())
 	if err != nil {
 		t.Fatal(err)

@@ -88,11 +88,14 @@ func BenchmarkWindowIncremental(b *testing.B) {
 // BenchmarkSearch measures end-to-end deterministic test generation on
 // the original/retimed pair, in plain incremental mode, in oblivious
 // verification mode (which re-derives every probe with the full sweep
-// the old engine paid for — the speedup baseline), and with the shared
-// cross-fault justification cache. Effort (gate evaluations actually
-// charged) is reported as a metric; it is identical between incremental
-// and oblivious by construction, so the ns/op ratio isolates the
-// simulation win.
+// the old engine paid for — the speedup baseline), with the shared
+// cross-fault justification cache, and with the full conflict-driven
+// stack (learned blocking cubes + backjumping + restarts) on top of the
+// shared cache. Effort (gate evaluations actually charged), detected
+// faults and aborted faults are reported as metrics; effort is identical
+// between incremental and oblivious by construction, so that ns/op
+// ratio isolates the simulation win, while the cdcl rows should show
+// reduced charged effort and aborts at equal detections.
 func BenchmarkSearch(b *testing.B) {
 	orig, re, reFlush := benchPair(b)
 	circuits := []struct {
@@ -110,6 +113,13 @@ func BenchmarkSearch(b *testing.B) {
 		{"incremental", nil},
 		{"oblivious", func(c *Config) { c.ObliviousSim = true }},
 		{"shared-cache", func(c *Config) { c.Learning = true; c.SharedLearning = true }},
+		{"cdcl", func(c *Config) {
+			c.Learning = true
+			c.SharedLearning = true
+			c.ConflictLearning = true
+			c.Backjump = true
+			c.Restarts = true
+		}},
 	}
 	for _, cc := range circuits {
 		faults := fault.CollapsedUniverse(cc.c)
@@ -118,11 +128,16 @@ func BenchmarkSearch(b *testing.B) {
 		}
 		for _, m := range modes {
 			b.Run(cc.name+"/"+m.name, func(b *testing.B) {
-				var effort int64
+				var stats Stats
 				for i := 0; i < b.N; i++ {
+					// 200k per fault is deliberately tight enough that the
+					// retimed circuit's hardest fault aborts under the
+					// shared cache but completes under cdcl's cheaper
+					// search — the aborted-fault reduction the cdcl rows
+					// exist to demonstrate.
 					cfg := Config{
 						MaxFrames: 6, MaxBackSteps: 24, BacktrackLimit: 1000,
-						FaultBudget: 400_000, FlushCycles: cc.flush,
+						FaultBudget: 200_000, FlushCycles: cc.flush,
 					}
 					if m.mutate != nil {
 						m.mutate(&cfg)
@@ -135,9 +150,11 @@ func BenchmarkSearch(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					effort = res.Stats.Effort
+					stats = res.Stats
 				}
-				b.ReportMetric(float64(effort), "gate-evals/op")
+				b.ReportMetric(float64(stats.Effort), "gate-evals/op")
+				b.ReportMetric(float64(stats.Detected), "detected/op")
+				b.ReportMetric(float64(stats.Aborted), "aborted/op")
 			})
 		}
 	}

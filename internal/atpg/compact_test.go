@@ -9,7 +9,11 @@ import (
 // TestCompactTestsPreservesCoverage: the compacted set must detect
 // exactly the faults the full set detects, with no more sequences.
 func TestCompactTestsPreservesCoverage(t *testing.T) {
-	c := synthC(t, 9, 12)
+	states := 9
+	if testing.Short() {
+		states = 7
+	}
+	c := synthC(t, states, 12)
 	e, err := New(c, defaultCfg())
 	if err != nil {
 		t.Fatal(err)

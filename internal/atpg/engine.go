@@ -51,10 +51,38 @@ type Config struct {
 	// normalization (like Learning itself).
 	SharedLearning bool
 	// LearnCap bounds each learning store (achieved states, failed
-	// cubes, shared failed cubes) to this many entries, evicting oldest
-	// first at fault boundaries. Zero selects the default of 4096;
-	// negative values are rejected.
+	// cubes, shared failed cubes, shared lemmas, per-search blocking
+	// cubes) to this many entries, evicting oldest first at fault
+	// boundaries. Zero selects the default of 4096; negative values are
+	// rejected.
 	LearnCap int
+	// ConflictLearning turns PODEM into a conflict-driven search: every
+	// analyzable conflict is traced through the implicit implication
+	// graph to the decision variables that force it, and the resulting
+	// blocking cube prunes any later assignment covering it. Cubes only
+	// ever cover refuted assignments, so verdicts are preserved under
+	// generous budgets; like ObliviousSim, the knob is excluded from
+	// campaign checkpoint fingerprints (it is a search-tuning mode, not
+	// a campaign identity), and unlike Learning it survives sharded-
+	// campaign normalization because each store is scoped to a single
+	// fault's search.
+	ConflictLearning bool
+	// Backjump (requires ConflictLearning) resolves stored-cube
+	// conflicts non-chronologically: any assignment that completes a
+	// learned cube is unwound BEFORE its simulation is paid for, and
+	// chains of covered flips pop whole refuted subtrees without a
+	// single charged gate evaluation. Analyzed conflicts whose support
+	// excludes the deepest decisions additionally skip those levels in
+	// one conflict-directed jump. Without it the cubes are only
+	// consulted as post-simulation conflicts, so the search order (and
+	// charged effort) is identical to the non-learning baseline.
+	Backjump bool
+	// Restarts (requires Backjump) adds Luby-scheduled restarts that
+	// abandon the current decision stack but carry the learned cubes,
+	// letting the search re-descend with better pruning. Backjump is
+	// required because a restart without pre-simulation cube pruning
+	// re-buys the entire abandoned trail at full simulation cost.
+	Restarts bool
 	// ObliviousSim makes every window simulation finish with an
 	// uncharged from-scratch reference sweep after the charged
 	// incremental pass. Results and effort accounting are byte-identical
@@ -117,6 +145,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: config %q: SharedLearning without Learning (the shared cache is an extension of the per-fault learning store)", c.Name)
 	case c.LearnCap < 0:
 		return fmt.Errorf("atpg: config %q: negative LearnCap %d (use 0 for the default bound)", c.Name, c.LearnCap)
+	case c.Backjump && !c.ConflictLearning:
+		return fmt.Errorf("atpg: config %q: Backjump without ConflictLearning (backjumping needs the learned cube as its reason)", c.Name)
+	case c.Restarts && !c.Backjump:
+		return fmt.Errorf("atpg: config %q: Restarts without Backjump (a restart without pre-simulation cube pruning re-buys the whole abandoned trail)", c.Name)
 	}
 	return nil
 }
@@ -137,6 +169,12 @@ type Stats struct {
 	// via proven-unjustifiable cubes (SEST-style engines only).
 	LearnHits   int64
 	LearnPrunes int64
+	// LearnedCubes/Backjumps/Restarts count the conflict-driven search
+	// events (ConflictLearning engines only): blocking cubes stored,
+	// non-chronological backjumps taken, and Luby restarts fired.
+	LearnedCubes int64
+	Backjumps    int64
+	Restarts     int64
 	// StatesTraversed is the set of fully specified states the
 	// generator visited: the good-circuit states of every applied
 	// sequence (the paper's "#states HITEC trav" instrument).
@@ -185,6 +223,12 @@ type Engine struct {
 	// those entries are depth- and path-relative.
 	sharedFailed     map[string]bool
 	sharedFailedKeys []string // insertion order (rollback journal)
+	// lemmas/lemmaList is the shared learned-cube store fed by conflict
+	// analysis (SharedLearning + ConflictLearning): good-machine forced-
+	// next-state facts, sound under every fault. The map dedupes, the
+	// list is the insertion-order journal for rollback and snapshots.
+	lemmas    map[string]bool
+	lemmaList []LearnedCube
 
 	// cancelDone is the active run's ctx.Done(); cancelled latches once
 	// the channel closes so every subsequent charge fails fast.
@@ -200,6 +244,12 @@ type Engine struct {
 	// package's crash-isolation tests) can inject failures; it is not
 	// part of the run's fingerprinted configuration.
 	TestHook func(index int, f fault.Fault)
+
+	// TestCubeHook, when set, observes every freshly learned blocking
+	// cube with its refuting line and claimed forced value, so the
+	// differential tests can replay the cube on a fresh window and check
+	// the implication from scratch. Test instrumentation only.
+	TestCubeHook func(rec CubeRecord)
 
 	Stats Stats
 }
@@ -235,6 +285,7 @@ func New(c *netlist.Circuit, cfg Config) (*Engine, error) {
 		failedCubes:  map[string]bool{},
 		achieved:     map[string][][]sim.Val{},
 		sharedFailed: map[string]bool{},
+		lemmas:       map[string]bool{},
 	}
 	e.Stats.StatesTraversed = map[uint64]bool{}
 	e.fsim, err = fault.NewSimulator(c)
@@ -415,7 +466,15 @@ func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
 	if e.cfg.BacktrackLimit > 0 && e.cfg.BacktrackLimit < preLimit {
 		preLimit = e.cfg.BacktrackLimit
 	}
-	outcome := e.podem(w, pre, preLimit, func() bool { return true })
+	// One cube store per fault, shared by the pre-pass and every
+	// detection window: an excitation-conflict cube proves the fault
+	// cannot be excited under those decision values, which holds in
+	// every window size (the support walk never leaves frame 0).
+	var ddb *cubeDB
+	if e.cfg.ConflictLearning {
+		ddb = e.newCubeDB()
+	}
+	outcome := e.podem(w, pre, preLimit, ddb, func() bool { return true })
 	if outcome == searchExhausted {
 		return Redundant, nil
 	}
@@ -437,7 +496,7 @@ func (e *Engine) generate(f *fault.Fault) (Outcome, [][]sim.Val) {
 		w := e.newWin(k, f)
 		prob := &detectProblem{e: e}
 		var final [][]sim.Val
-		out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
+		out := e.podem(w, prob, e.cfg.BacktrackLimit, ddb, func() bool {
 			// stateView is a live view, safe here: the window is
 			// suspended for the whole (synchronous) justification.
 			cube := w.stateView()
@@ -638,8 +697,18 @@ func (e *Engine) justify(f *fault.Fault, faultyReset []V5, cube []sim.Val, depth
 	}
 	w := e.newWin(1, f)
 	prob := &justifyProblem{targets: targets}
+	// Each justification step gets a fresh cube store (its conflicts
+	// are relative to this step's targets); the shared lemma store
+	// seeds it with every cross-fault cube contradicting a target.
+	var jdb *cubeDB
+	if e.cfg.ConflictLearning {
+		jdb = e.newCubeDB()
+		if e.cfg.SharedLearning {
+			e.seedLemmas(jdb, targets)
+		}
+	}
 	var result [][]sim.Val
-	out := e.podem(w, prob, e.cfg.BacktrackLimit, func() bool {
+	out := e.podem(w, prob, e.cfg.BacktrackLimit, jdb, func() bool {
 		// stateView is a live view, safe here: the recursive call reads
 		// it synchronously while this window is suspended.
 		prev := w.stateView()
@@ -751,6 +820,12 @@ func (e *Engine) capLearning() {
 			delete(e.sharedFailed, k)
 		}
 		e.sharedFailedKeys = append([]string(nil), e.sharedFailedKeys[n:]...)
+	}
+	if n := len(e.lemmaList) - limit; n > 0 {
+		for _, lc := range e.lemmaList[:n] {
+			delete(e.lemmas, lemmaKey(lc))
+		}
+		e.lemmaList = append([]LearnedCube(nil), e.lemmaList[n:]...)
 	}
 }
 

@@ -53,6 +53,20 @@ func (p *detectProblem) success(w *window) bool {
 	return p.extendedObs && w.dReachesLastState()
 }
 
+// witness: the only analyzable detect failure is an excitation
+// conflict — the fault line's good value is a known constant equal to
+// the stuck-at value, and that line value has a pure good-rail support.
+// A dead D-frontier is a set-level fact with no single refuting line,
+// so it stays chronological.
+func (p *detectProblem) witness(w *window) conflictWitness {
+	lg := w.faultLineGood()
+	if lg != sim.VX && lg == w.flt.SA {
+		gate, _ := w.excitationObjective()
+		return conflictWitness{kind: witnessLine, frame: 0, gate: gate}
+	}
+	return conflictWitness{}
+}
+
 func (p *detectProblem) objective(w *window) (objective, bool) {
 	lg := w.faultLineGood()
 	if lg == sim.VX {
@@ -138,6 +152,51 @@ func (p *justifyProblem) success(w *window) bool {
 		}
 	}
 	return true
+}
+
+// witness picks the first mismatched target in target order: a good-
+// rail mismatch analyzes the good rail; a faulty-rail mismatch caused
+// by a D-pin branch fault is a constant contradiction (unsatisfiable
+// outright), any other faulty-rail mismatch analyzes the faulty rail
+// into a fault-local cube.
+func (p *justifyProblem) witness(w *window) conflictWitness {
+	for _, t := range p.targets {
+		v := p.lineVal(w, t)
+		if v.G != sim.VX && v.G != t.val {
+			return conflictWitness{kind: witnessLine, frame: 0, gate: t.gate}
+		}
+		if v.F != sim.VX && v.F != t.val {
+			if w.flt != nil && w.flt.Gate == t.dff && w.flt.Pin == 0 {
+				return conflictWitness{kind: witnessAlways}
+			}
+			return conflictWitness{kind: witnessLine, onF: true, frame: 0, gate: t.gate}
+		}
+	}
+	return conflictWitness{}
+}
+
+// publishLemma promotes an analyzable good-rail justification conflict
+// to the shared cross-fault store when its support is state-variables-
+// only: the good rail is fault-free even in a composite window, so
+// "state ⊇ cube forces this next-state bit" holds under every fault
+// and every input vector.
+func (p *justifyProblem) publishLemma(e *Engine, w *window, wt conflictWitness, lits []cubeLit) {
+	if wt.onF || !e.cfg.SharedLearning || !e.cfg.ConflictLearning {
+		return
+	}
+	if !stateOnly(lits, len(w.stateVals)) {
+		return
+	}
+	forced := w.vals[0][wt.gate].G
+	if forced == sim.VX {
+		return
+	}
+	cube := stateCubeOf(lits, len(w.stateVals))
+	for _, t := range p.targets {
+		if t.gate == wt.gate && t.val != forced {
+			e.publishLemma(LearnedCube{Cube: cube, Bit: w.dffIdx[t.dff], Val: forced})
+		}
+	}
 }
 
 func (p *justifyProblem) objective(w *window) (objective, bool) {

@@ -71,12 +71,16 @@ type boundaryMark struct {
 	backtracks      int64
 	learnHits       int64
 	learnPrunes     int64
+	learnedCubes    int64
+	backjumps       int64
+	restarts        int64
 	unconfirmed     int
 	totalLeft       int64
 	outOfBudget     bool
 	achievedLen     int
 	failedLen       int
 	sharedFailedLen int
+	lemmaLen        int
 }
 
 func (e *Engine) mark() boundaryMark {
@@ -85,12 +89,16 @@ func (e *Engine) mark() boundaryMark {
 		backtracks:      e.Stats.Backtracks,
 		learnHits:       e.Stats.LearnHits,
 		learnPrunes:     e.Stats.LearnPrunes,
+		learnedCubes:    e.Stats.LearnedCubes,
+		backjumps:       e.Stats.Backjumps,
+		restarts:        e.Stats.Restarts,
 		unconfirmed:     e.Stats.Unconfirmed,
 		totalLeft:       e.totalLeft,
 		outOfBudget:     e.outOfBudget,
 		achievedLen:     len(e.achievedKeys),
 		failedLen:       len(e.failedKeys),
 		sharedFailedLen: len(e.sharedFailedKeys),
+		lemmaLen:        len(e.lemmaList),
 	}
 }
 
@@ -99,6 +107,9 @@ func (e *Engine) rollback(m boundaryMark) {
 	e.Stats.Backtracks = m.backtracks
 	e.Stats.LearnHits = m.learnHits
 	e.Stats.LearnPrunes = m.learnPrunes
+	e.Stats.LearnedCubes = m.learnedCubes
+	e.Stats.Backjumps = m.backjumps
+	e.Stats.Restarts = m.restarts
 	e.Stats.Unconfirmed = m.unconfirmed
 	e.totalLeft = m.totalLeft
 	e.outOfBudget = m.outOfBudget
@@ -114,6 +125,10 @@ func (e *Engine) rollback(m boundaryMark) {
 		delete(e.sharedFailed, k)
 	}
 	e.sharedFailedKeys = e.sharedFailedKeys[:m.sharedFailedLen]
+	for _, lc := range e.lemmaList[m.lemmaLen:] {
+		delete(e.lemmas, lemmaKey(lc))
+	}
+	e.lemmaList = e.lemmaList[:m.lemmaLen]
 }
 
 // generateSafe runs one fault search with panic isolation.

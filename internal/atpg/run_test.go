@@ -27,8 +27,16 @@ func mustEngine(t *testing.T, c *netlist.Circuit, cfg Config) *Engine {
 func TestInterruptedRunResumesExactly(t *testing.T) {
 	c := synthC(t, 9, 12)
 	faults := fault.CollapsedUniverse(c)
-	if len(faults) > 60 {
-		faults = faults[:60]
+	cap := 60
+	if testing.Short() {
+		cap = 30
+	}
+	if len(faults) > cap {
+		faults = faults[:cap]
+	}
+	cancelAts := []int{0, 7, len(faults) / 2}
+	if testing.Short() {
+		cancelAts = []int{0, 7}
 	}
 
 	configs := map[string]Config{
@@ -57,7 +65,7 @@ func TestInterruptedRunResumesExactly(t *testing.T) {
 				t.Fatal("reference run reported interrupted")
 			}
 
-			for _, cancelAt := range []int{0, 7, len(faults) / 2} {
+			for _, cancelAt := range cancelAts {
 				ctx, cancel := context.WithCancel(context.Background())
 				e := mustEngine(t, c, cfg)
 				e.TestHook = func(i int, _ fault.Fault) {

@@ -39,6 +39,23 @@ func SharedConfig(flushCycles int, faultBudget int64) atpg.Config {
 	return cfg
 }
 
+// CdclConfig is SharedConfig with the conflict-driven search layer on
+// top: conflict analysis learns blocking cubes over state variables and
+// frame-relative PIs, backjumping pops straight to the asserting level,
+// and Luby restarts escape unproductive subtrees while the learned
+// cubes carry across the restart. Good-machine state lemmas feed the
+// shared cross-fault cache. Verdicts are identical to SharedConfig —
+// cubes only exclude regions already refuted by exhaustive search — so
+// only the charged effort and the abort rate change.
+func CdclConfig(flushCycles int, faultBudget int64) atpg.Config {
+	cfg := SharedConfig(flushCycles, faultBudget)
+	cfg.Name = "sest-cdcl"
+	cfg.ConflictLearning = true
+	cfg.Backjump = true
+	cfg.Restarts = true
+	return cfg
+}
+
 // New builds a SEST-style engine for the circuit.
 func New(c *netlist.Circuit, flushCycles int, faultBudget int64) (*atpg.Engine, error) {
 	return atpg.New(c, DefaultConfig(flushCycles, faultBudget))

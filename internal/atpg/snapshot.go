@@ -24,10 +24,13 @@ type Snapshot struct {
 	// FailedCubes and Achieved are the SEST learning caches in
 	// insertion order (empty unless Config.Learning). SharedFailed is
 	// the cross-fault good-machine unjustifiability store (empty unless
-	// Config.SharedLearning).
+	// Config.SharedLearning). LearnedCubes is the shared lemma store
+	// fed by conflict analysis (empty unless Config.SharedLearning and
+	// Config.ConflictLearning).
 	FailedCubes  []string
 	SharedFailed []string
 	Achieved     []AchievedState
+	LearnedCubes []LearnedCube
 	Crashes      []*FaultCrash
 }
 
@@ -76,6 +79,7 @@ func (e *Engine) buildSnapshot(rs *runLoopState) *Snapshot {
 		OutOfBudget:  e.outOfBudget,
 		FailedCubes:  append([]string(nil), e.failedKeys...),
 		SharedFailed: append([]string(nil), e.sharedFailedKeys...),
+		LearnedCubes: append([]LearnedCube(nil), e.lemmaList...),
 		Crashes:      append([]*FaultCrash(nil), rs.crashes...),
 	}
 	for _, k := range e.achievedKeys {
@@ -126,6 +130,11 @@ func (e *Engine) restoreSnapshot(snap *Snapshot, rs *runLoopState, n int) error 
 	e.sharedFailedKeys = append([]string(nil), snap.SharedFailed...)
 	for _, k := range e.sharedFailedKeys {
 		e.sharedFailed[k] = true
+	}
+	e.lemmas = make(map[string]bool, len(snap.LearnedCubes))
+	e.lemmaList = append([]LearnedCube(nil), snap.LearnedCubes...)
+	for _, lc := range e.lemmaList {
+		e.lemmas[lemmaKey(lc)] = true
 	}
 	e.achieved = make(map[string][][]sim.Val, len(snap.Achieved))
 	e.achievedKeys = e.achievedKeys[:0]

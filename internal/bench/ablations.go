@@ -87,9 +87,11 @@ func (s *Suite) AblationLearning() (string, error) {
 		{p.Orig.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Orig.Circuit, 1) }},
 		{p.Orig.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Orig.Circuit, 1) }},
 		{p.Orig.Circuit.Name + "\tsest-shared (shared cache)", func() (*RunRecord, error) { return s.Run("sest-shared", p.Orig.Circuit, 1) }},
+		{p.Orig.Circuit.Name + "\tsest-cdcl (conflict-driven)", func() (*RunRecord, error) { return s.Run("sest-cdcl", p.Orig.Circuit, 1) }},
 		{p.Re.Circuit.Name + "\thitec (no learning)", func() (*RunRecord, error) { return s.Run("hitec", p.Re.Circuit, p.Re.FlushCycles) }},
 		{p.Re.Circuit.Name + "\tsest (learning)", func() (*RunRecord, error) { return s.Run("sest", p.Re.Circuit, p.Re.FlushCycles) }},
 		{p.Re.Circuit.Name + "\tsest-shared (shared cache)", func() (*RunRecord, error) { return s.Run("sest-shared", p.Re.Circuit, p.Re.FlushCycles) }},
+		{p.Re.Circuit.Name + "\tsest-cdcl (conflict-driven)", func() (*RunRecord, error) { return s.Run("sest-cdcl", p.Re.Circuit, p.Re.FlushCycles) }},
 	}
 	for _, row := range rows {
 		rec, err := row.f()

@@ -278,6 +278,8 @@ func (s *Suite) engineConfig(engine string, c *netlist.Circuit, flush int) (atpg
 		cfg = sest.DefaultConfig(flush, perFault)
 	case "sest-shared":
 		cfg = sest.SharedConfig(flush, perFault)
+	case "sest-cdcl":
+		cfg = sest.CdclConfig(flush, perFault)
 	default:
 		return cfg, fmt.Errorf("bench: unknown engine %q", engine)
 	}

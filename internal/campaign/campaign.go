@@ -199,11 +199,14 @@ type state struct {
 
 // passAgg sums the monotone effort counters over completed passes.
 type passAgg struct {
-	Effort      int64
-	Backtracks  int64
-	LearnHits   int64
-	LearnPrunes int64
-	Unconfirmed int
+	Effort       int64
+	Backtracks   int64
+	LearnHits    int64
+	LearnPrunes  int64
+	LearnedCubes int64
+	Backjumps    int64
+	Restarts     int64
+	Unconfirmed  int
 }
 
 // writeCheckpoint attempts one checkpoint write. Failure degrades the
@@ -349,6 +352,9 @@ func Run(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Conf
 		st.agg.Backtracks += res.Stats.Backtracks
 		st.agg.LearnHits += res.Stats.LearnHits
 		st.agg.LearnPrunes += res.Stats.LearnPrunes
+		st.agg.LearnedCubes += res.Stats.LearnedCubes
+		st.agg.Backjumps += res.Stats.Backjumps
+		st.agg.Restarts += res.Stats.Restarts
 		st.agg.Unconfirmed += res.Stats.Unconfirmed
 		for s := range res.Stats.StatesTraversed {
 			st.states[s] = true
@@ -463,6 +469,9 @@ func assemble(st *state, interrupted bool) *Result {
 		stats.Backtracks += sn.Backtracks
 		stats.LearnHits += sn.LearnHits
 		stats.LearnPrunes += sn.LearnPrunes
+		stats.LearnedCubes += sn.LearnedCubes
+		stats.Backjumps += sn.Backjumps
+		stats.Restarts += sn.Restarts
 		stats.Unconfirmed += sn.Unconfirmed
 		for s := range sn.StatesTraversed {
 			st.states[s] = true
@@ -473,6 +482,9 @@ func assemble(st *state, interrupted bool) *Result {
 	stats.Backtracks += st.agg.Backtracks
 	stats.LearnHits += st.agg.LearnHits
 	stats.LearnPrunes += st.agg.LearnPrunes
+	stats.LearnedCubes += st.agg.LearnedCubes
+	stats.Backjumps += st.agg.Backjumps
+	stats.Restarts += st.agg.Restarts
 	stats.Unconfirmed += st.agg.Unconfirmed
 	stats.StatesTraversed = st.states
 	res.Stats = stats

@@ -20,8 +20,9 @@ import (
 
 // checkpointVersion is bumped whenever the on-disk schema changes; a
 // file with a different version is rejected, never reinterpreted.
-// Version 2 added the payload CRC32 and the .prev generation.
-const checkpointVersion = 2
+// Version 2 added the payload CRC32 and the .prev generation; version 3
+// added the learned-cube store and the conflict-driven search counters.
+const checkpointVersion = 3
 
 // prevSuffix names the previous checkpoint generation, kept so a
 // corrupt current generation never strands a resume.
@@ -48,9 +49,16 @@ func Fingerprint(c *netlist.Circuit, cfg Config, faults []fault.Fault) string {
 	// ObliviousSim is a verification mode with byte-identical results
 	// and effort accounting, so — like the machine-local FsimWorkers
 	// knob, which is not a Config field at all — it must not invalidate
-	// checkpoints; everything else about the engine config binds.
+	// checkpoints. The conflict-driven search knobs are excluded the
+	// same way: they are per-fault search tuning that preserves
+	// verdicts under generous budgets, so toggling them across a resume
+	// must not strand a long campaign's checkpoint. Everything else
+	// about the engine config binds.
 	eng := cfg.Engine
 	eng.ObliviousSim = false
+	eng.ConflictLearning = false
+	eng.Backjump = false
+	eng.Restarts = false
 	fmt.Fprintf(h, "engine: %+v\n", eng)
 	fmt.Fprintf(h, "retries: %d\n", cfg.Retries)
 	for _, f := range faults {
@@ -100,21 +108,33 @@ type ckptSnap struct {
 	FailedCubes  []string       `json:"failed_cubes,omitempty"`
 	SharedFailed []string       `json:"shared_failed,omitempty"`
 	Achieved     []ckptAchieved `json:"achieved,omitempty"`
+	LearnedCubes []ckptLemma    `json:"learned_cubes,omitempty"`
 	Crashes      []ckptCrash    `json:"crashes,omitempty"`
 }
 
 type ckptStats struct {
-	Total       int      `json:"total"`
-	Detected    int      `json:"detected"`
-	Redundant   int      `json:"redundant"`
-	Aborted     int      `json:"aborted"`
-	Crashed     int      `json:"crashed"`
-	Unconfirmed int      `json:"unconfirmed"`
-	Effort      int64    `json:"effort"`
-	Backtracks  int64    `json:"backtracks"`
-	LearnHits   int64    `json:"learn_hits"`
-	LearnPrunes int64    `json:"learn_prunes"`
-	States      []uint64 `json:"states"`
+	Total        int      `json:"total"`
+	Detected     int      `json:"detected"`
+	Redundant    int      `json:"redundant"`
+	Aborted      int      `json:"aborted"`
+	Crashed      int      `json:"crashed"`
+	Unconfirmed  int      `json:"unconfirmed"`
+	Effort       int64    `json:"effort"`
+	Backtracks   int64    `json:"backtracks"`
+	LearnHits    int64    `json:"learn_hits"`
+	LearnPrunes  int64    `json:"learn_prunes"`
+	LearnedCubes int64    `json:"learned_cubes"`
+	Backjumps    int64    `json:"backjumps"`
+	Restarts     int64    `json:"restarts"`
+	States       []uint64 `json:"states"`
+}
+
+// ckptLemma is one shared learned cube ("01X" state cube forcing one
+// next-state bit) in the checkpoint schema.
+type ckptLemma struct {
+	Cube string `json:"cube"`
+	Bit  int    `json:"bit"`
+	Val  int    `json:"val"`
 }
 
 type ckptAchieved struct {
@@ -265,17 +285,20 @@ func encodeSnap(snap *atpg.Snapshot) *ckptSnap {
 		SharedFailed: snap.SharedFailed,
 		Crashes:      encodeCrashes(snap.Crashes),
 		Stats: ckptStats{
-			Total:       snap.Stats.Total,
-			Detected:    snap.Stats.Detected,
-			Redundant:   snap.Stats.Redundant,
-			Aborted:     snap.Stats.Aborted,
-			Crashed:     snap.Stats.Crashed,
-			Unconfirmed: snap.Stats.Unconfirmed,
-			Effort:      snap.Stats.Effort,
-			Backtracks:  snap.Stats.Backtracks,
-			LearnHits:   snap.Stats.LearnHits,
-			LearnPrunes: snap.Stats.LearnPrunes,
-			States:      sortedStates(snap.Stats.StatesTraversed),
+			Total:        snap.Stats.Total,
+			Detected:     snap.Stats.Detected,
+			Redundant:    snap.Stats.Redundant,
+			Aborted:      snap.Stats.Aborted,
+			Crashed:      snap.Stats.Crashed,
+			Unconfirmed:  snap.Stats.Unconfirmed,
+			Effort:       snap.Stats.Effort,
+			Backtracks:   snap.Stats.Backtracks,
+			LearnHits:    snap.Stats.LearnHits,
+			LearnPrunes:  snap.Stats.LearnPrunes,
+			LearnedCubes: snap.Stats.LearnedCubes,
+			Backjumps:    snap.Stats.Backjumps,
+			Restarts:     snap.Stats.Restarts,
+			States:       sortedStates(snap.Stats.StatesTraversed),
 		},
 	}
 	for _, a := range snap.Achieved {
@@ -283,7 +306,38 @@ func encodeSnap(snap *atpg.Snapshot) *ckptSnap {
 			Fault: a.Fault, Bits: a.Bits, Seq: encodeSeq(a.Seq),
 		})
 	}
+	for _, lc := range snap.LearnedCubes {
+		cs.LearnedCubes = append(cs.LearnedCubes, ckptLemma{
+			Cube: lc.Cube, Bit: lc.Bit, Val: int(lc.Val),
+		})
+	}
 	return cs
+}
+
+// decodeLemma validates one learned-cube entry: the cube must be a
+// non-empty "01X" string with at least one specified bit, the forced
+// bit index non-negative and the forced value binary.
+func decodeLemma(lc ckptLemma) (atpg.LearnedCube, error) {
+	specified := false
+	for i := 0; i < len(lc.Cube); i++ {
+		switch lc.Cube[i] {
+		case '0', '1':
+			specified = true
+		case 'X':
+		default:
+			return atpg.LearnedCube{}, fmt.Errorf("campaign: checkpoint learned cube has invalid symbol %q", lc.Cube[i])
+		}
+	}
+	if len(lc.Cube) == 0 || !specified {
+		return atpg.LearnedCube{}, fmt.Errorf("campaign: checkpoint learned cube %q specifies no bits", lc.Cube)
+	}
+	if lc.Bit < 0 || lc.Bit >= len(lc.Cube) {
+		return atpg.LearnedCube{}, fmt.Errorf("campaign: checkpoint learned cube bit %d out of range", lc.Bit)
+	}
+	if lc.Val != int(sim.V0) && lc.Val != int(sim.V1) {
+		return atpg.LearnedCube{}, fmt.Errorf("campaign: checkpoint learned cube value %d is not binary", lc.Val)
+	}
+	return atpg.LearnedCube{Cube: lc.Cube, Bit: lc.Bit, Val: sim.Val(lc.Val)}, nil
 }
 
 func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
@@ -326,6 +380,9 @@ func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
 			Backtracks:      cs.Stats.Backtracks,
 			LearnHits:       cs.Stats.LearnHits,
 			LearnPrunes:     cs.Stats.LearnPrunes,
+			LearnedCubes:    cs.Stats.LearnedCubes,
+			Backjumps:       cs.Stats.Backjumps,
+			Restarts:        cs.Stats.Restarts,
 			StatesTraversed: statesSet(cs.Stats.States),
 		},
 	}
@@ -335,6 +392,13 @@ func decodeSnap(cs *ckptSnap, passFaults int) (*atpg.Snapshot, error) {
 			return nil, err
 		}
 		snap.Achieved = append(snap.Achieved, atpg.AchievedState{Fault: a.Fault, Bits: a.Bits, Seq: seq})
+	}
+	for _, lc := range cs.LearnedCubes {
+		dec, err := decodeLemma(lc)
+		if err != nil {
+			return nil, err
+		}
+		snap.LearnedCubes = append(snap.LearnedCubes, dec)
 	}
 	return snap, nil
 }

@@ -209,6 +209,9 @@ func MergeShardResults(faults []fault.Fault, idxs [][]int, results []*Result) *R
 		merged.Stats.Backtracks += s.Backtracks
 		merged.Stats.LearnHits += s.LearnHits
 		merged.Stats.LearnPrunes += s.LearnPrunes
+		merged.Stats.LearnedCubes += s.LearnedCubes
+		merged.Stats.Backjumps += s.Backjumps
+		merged.Stats.Restarts += s.Restarts
 		for st := range s.StatesTraversed {
 			merged.Stats.StatesTraversed[st] = true
 		}

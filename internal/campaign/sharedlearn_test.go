@@ -54,6 +54,27 @@ func TestFingerprintIgnoresObliviousSim(t *testing.T) {
 	}
 }
 
+// TestFingerprintIgnoresCdclKnobs: the conflict-driven search knobs are
+// verdict-preserving search tuning, excluded from checkpoint identity
+// the way ObliviousSim is — a campaign checkpointed without cdcl must
+// resume with it on, and vice versa.
+func TestFingerprintIgnoresCdclKnobs(t *testing.T) {
+	c := synthC(t, 7, 5)
+	faults := fault.CollapsedUniverse(c)[:20]
+	base := Config{Engine: sharedCfg()}
+
+	cdcl := base
+	cdcl.Engine.ConflictLearning = true
+	if Fingerprint(c, base, faults) != Fingerprint(c, cdcl, faults) {
+		t.Error("ConflictLearning changed the checkpoint fingerprint")
+	}
+	cdcl.Engine.Backjump = true
+	cdcl.Engine.Restarts = true
+	if Fingerprint(c, base, faults) != Fingerprint(c, cdcl, faults) {
+		t.Error("Backjump/Restarts changed the checkpoint fingerprint")
+	}
+}
+
 // TestFingerprintIgnoresFsimWorkers pins the contract the fault-sim
 // throughput knobs rely on: FsimWorkers (and, inside the engine, the
 // kernel Width it implies) is worker-count- and width-invariant in
@@ -159,12 +180,29 @@ func TestCheckpointRoundTripSharedFailed(t *testing.T) {
 // carries the cross-fault stores, and a resumed campaign must land on
 // the same stats, outcomes and tests as one that was never stopped.
 func TestCampaignResumeExactWithSharedLearning(t *testing.T) {
+	resumeExact(t, sharedCfg())
+}
+
+// TestCampaignResumeExactWithCdcl: the same exactness with the full
+// conflict-driven stack on — mid-pass snapshots now carry a populated
+// learned-cube store and the cdcl effort counters, and a resumed
+// campaign must replay to byte-identical stats (LearnedCubes, Backjumps
+// and Restarts included).
+func TestCampaignResumeExactWithCdcl(t *testing.T) {
+	cfg := sharedCfg()
+	cfg.ConflictLearning = true
+	cfg.Backjump = true
+	cfg.Restarts = true
+	resumeExact(t, cfg)
+}
+
+func resumeExact(t *testing.T, eng atpg.Config) {
 	c := synthC(t, 9, 12)
 	faults := fault.CollapsedUniverse(c)
 	if len(faults) > 50 {
 		faults = faults[:50]
 	}
-	base := Config{Engine: sharedCfg(), Retries: 1}
+	base := Config{Engine: eng, Retries: 1}
 	base.Engine.FaultBudget = 40_000
 
 	ref, err := Run(context.Background(), c, faults, base)

@@ -61,17 +61,20 @@ func EncodeResult(res *Result) ([]byte, error) {
 		Degraded:           res.Degraded,
 		CheckpointFailures: res.CheckpointFailures,
 		Stats: ckptStats{
-			Total:       res.Stats.Total,
-			Detected:    res.Stats.Detected,
-			Redundant:   res.Stats.Redundant,
-			Aborted:     res.Stats.Aborted,
-			Crashed:     res.Stats.Crashed,
-			Unconfirmed: res.Stats.Unconfirmed,
-			Effort:      res.Stats.Effort,
-			Backtracks:  res.Stats.Backtracks,
-			LearnHits:   res.Stats.LearnHits,
-			LearnPrunes: res.Stats.LearnPrunes,
-			States:      sortedStates(res.Stats.StatesTraversed),
+			Total:        res.Stats.Total,
+			Detected:     res.Stats.Detected,
+			Redundant:    res.Stats.Redundant,
+			Aborted:      res.Stats.Aborted,
+			Crashed:      res.Stats.Crashed,
+			Unconfirmed:  res.Stats.Unconfirmed,
+			Effort:       res.Stats.Effort,
+			Backtracks:   res.Stats.Backtracks,
+			LearnHits:    res.Stats.LearnHits,
+			LearnPrunes:  res.Stats.LearnPrunes,
+			LearnedCubes: res.Stats.LearnedCubes,
+			Backjumps:    res.Stats.Backjumps,
+			Restarts:     res.Stats.Restarts,
+			States:       sortedStates(res.Stats.StatesTraversed),
 		},
 	}
 	data, err := json.MarshalIndent(&w, "", " ")
@@ -137,7 +140,8 @@ func DecodeResult(data []byte) (*Result, error) {
 			s.Aborted != counted.Aborted || s.Crashed != counted.Crashed) {
 		return nil, fmt.Errorf("%w: verdict counters disagree with the outcome string", ErrResultWire)
 	}
-	if s.Effort < 0 || s.Backtracks < 0 || s.LearnHits < 0 || s.LearnPrunes < 0 || s.Unconfirmed < 0 {
+	if s.Effort < 0 || s.Backtracks < 0 || s.LearnHits < 0 || s.LearnPrunes < 0 ||
+		s.LearnedCubes < 0 || s.Backjumps < 0 || s.Restarts < 0 || s.Unconfirmed < 0 {
 		return nil, fmt.Errorf("%w: negative effort counters", ErrResultWire)
 	}
 	tests, err := decodeTests(w.Tests)
@@ -156,6 +160,9 @@ func DecodeResult(data []byte) (*Result, error) {
 		Backtracks:      s.Backtracks,
 		LearnHits:       s.LearnHits,
 		LearnPrunes:     s.LearnPrunes,
+		LearnedCubes:    s.LearnedCubes,
+		Backjumps:       s.Backjumps,
+		Restarts:        s.Restarts,
 		StatesTraversed: statesSet(s.States),
 	}
 	return res, nil

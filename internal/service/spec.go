@@ -220,6 +220,9 @@ type Summary struct {
 	Backtracks      int64   `json:"backtracks"`
 	LearnHits       int64   `json:"learn_hits"`
 	LearnPrunes     int64   `json:"learn_prunes"`
+	LearnedCubes    int64   `json:"learned_cubes"`
+	Backjumps       int64   `json:"backjumps"`
+	Restarts        int64   `json:"restarts"`
 	StatesTraversed int     `json:"states_traversed"`
 	FC              float64 `json:"fc"`
 	FE              float64 `json:"fe"`
@@ -249,6 +252,9 @@ func NewSummary(res *campaign.Result) Summary {
 		Backtracks:         s.Backtracks,
 		LearnHits:          s.LearnHits,
 		LearnPrunes:        s.LearnPrunes,
+		LearnedCubes:       s.LearnedCubes,
+		Backjumps:          s.Backjumps,
+		Restarts:           s.Restarts,
 		StatesTraversed:    len(s.StatesTraversed),
 		FC:                 s.FC(),
 		FE:                 s.FE(),
