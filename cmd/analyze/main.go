@@ -6,6 +6,7 @@
 // Usage:
 //
 //	analyze -in a.net
+//	analyze -in a.net -predict      # per-fault hardness table
 //
 // Exit codes:
 //
@@ -23,9 +24,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"text/tabwriter"
 
 	"seqatpg/internal/analyze"
+	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
+	"seqatpg/internal/predict"
 	"seqatpg/internal/reach"
 	"seqatpg/internal/retime"
 	"seqatpg/internal/service"
@@ -47,6 +51,9 @@ func main() {
 func run() int {
 	in := flag.String("in", "", "input netlist")
 	skipReach := flag.Bool("noreach", false, "skip the symbolic reachability analysis")
+	predictTable := flag.Bool("predict", false, "print the per-fault hardness table: testability features, predicted cost, scheduling queue")
+	budget := flag.Int64("budget", 0, "per-fault effort budget the rung assignment assumes (default: 8000 x gates, matching atpg)")
+	retries := flag.Int("retries", 2, "retry-ladder passes the rung assignment assumes (matching atpg)")
 	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
 	flag.Parse()
 	if *showVersion {
@@ -120,5 +127,73 @@ func run() int {
 		fmt.Printf("valid states:   %.0f of %.0f\n", ra.ValidStates, ra.TotalStates)
 		fmt.Printf("density:        %.3g\n", ra.Density)
 	}
+
+	if *predictTable {
+		if err := printPredictTable(c, *budget, *retries); err != nil {
+			log.Print(err)
+			return exitSetup
+		}
+	}
 	return exitOK
+}
+
+// printPredictTable reports each collapsed fault's testability features
+// next to the predictor's verdict on them — the predicted cost in gate
+// evaluations, the retry-ladder rung a scheduled campaign would start
+// it at, and the queue it would run in (queue 0 is the easy-first
+// stream; higher queues are the concurrent big-budget ones). The rung
+// and queue mirror campaign.RunScheduled exactly, so this table is the
+// dry-run view of what -schedule would do.
+func printPredictTable(c *netlist.Circuit, budget int64, retries int) error {
+	if budget == 0 {
+		budget = 8000 * int64(c.NumGates())
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	faults := fault.CollapsedUniverse(c)
+	flush, err := retime.FlushLength(c)
+	if err != nil {
+		return err
+	}
+	fs, err := predict.Extract(c, faults, predict.Options{WithDensity: true, FlushCycles: flush})
+	if err != nil {
+		return err
+	}
+	plan := predict.NewPlan(fs, nil, budget, retries)
+
+	hard := 0
+	for _, h := range plan.Hard {
+		if h {
+			hard++
+		}
+	}
+	density := "unknown"
+	if fs.Density.Known {
+		density = fmt.Sprintf("%.3g", fs.Density.Value)
+	}
+	fmt.Printf("\npredictor:      %s (budget %d, retries %d)\n", plan.Predictor, budget, retries)
+	fmt.Printf("predicted hard: %d of %d faults, density %s, scoap converged %v (%d passes)\n",
+		hard, len(faults), density, fs.SCOAPConverged, fs.SCOAPPasses)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "fault\tcc0\tcc1\tact\tobs\tseq\tffr\tfan\tscore\trung\tqueue\t")
+	for i, f := range fs.Faults {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4g\t%d\t%d\t\n",
+			faults[i], f.CC0, f.CC1, f.CCAct, f.Obs, f.SeqDepth, f.FFRSize, f.Fanout,
+			plan.Scores[i], plan.Rungs[i], queueOf(plan, i))
+	}
+	return w.Flush()
+}
+
+// queueOf mirrors campaign.RunScheduled's queue assignment: the ladder
+// rung when rung budgets are in play, else the easy/hard split.
+func queueOf(plan *predict.Plan, i int) int {
+	if plan.Rungs[i] > 0 {
+		return plan.Rungs[i]
+	}
+	if plan.Hard[i] {
+		return 1
+	}
+	return 0
 }

@@ -76,6 +76,7 @@ func run() int {
 	learnCap := flag.Int("learn-cap", 0, "size bound per learning store, oldest evicted first (0 = default 4096)")
 	obliviousSim := flag.Bool("oblivious-sim", false, "verification mode: re-derive every window simulation with a full oblivious sweep (identical results, slower)")
 	cdcl := flag.Bool("cdcl", false, "conflict-driven search: learn blocking cubes from conflicts, backjump non-chronologically, restart on a Luby schedule (verdict-preserving)")
+	schedule := flag.Bool("schedule", false, "testability-aware scheduling: order faults easy-first by predicted cost, run predicted-hard faults on concurrent big-budget queues starting at their predicted ladder rung (verdict-preserving)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	showVersion := flag.Bool("version", false, "print the build identity (the /version handshake) and exit")
@@ -187,14 +188,23 @@ func run() int {
 	}
 
 	faults := fault.CollapsedUniverse(c)
-	res, err := campaign.Run(ctx, c, faults, campaign.Config{
+	ccfg := campaign.Config{
 		Engine:         cfg,
 		Retries:        *retries,
 		FsimWorkers:    *fsimWorkers,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		Log:            log.Printf,
-	})
+	}
+	var res *campaign.Result
+	if *schedule {
+		res, err = campaign.RunScheduled(ctx, c, faults, ccfg, campaign.SchedConfig{
+			WithDensity: true,
+			RungBudgets: true,
+		})
+	} else {
+		res, err = campaign.Run(ctx, c, faults, ccfg)
+	}
 	if err != nil {
 		log.Print(err)
 		return exitSetup

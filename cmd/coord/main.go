@@ -75,6 +75,7 @@ func run() int {
 
 	workers := flag.String("workers", "", "comma-separated worker base URLs (required)")
 	shards := flag.Int("shards", 0, "shard count (0 = one per worker)")
+	balance := flag.Bool("balance", false, "pack shards balanced by predicted fault cost instead of round-robin (verdict-preserving; whole fleet must run the same API version)")
 	lease := flag.Duration("lease", 30*time.Second, "shard lease: re-dispatch after this long without observable progress")
 	heartbeat := flag.Duration("heartbeat", 0, "status-poll interval renewing leases (0 = lease/5)")
 	redispatchMax := flag.Int("redispatch-max", 8, "dispatch attempts per shard before giving up")
@@ -163,6 +164,7 @@ func run() int {
 	coord, err := fabric.NewCoordinator(fabric.Options{
 		Workers:       fleet,
 		Shards:        *shards,
+		Balance:       *balance,
 		Lease:         *lease,
 		Heartbeat:     *heartbeat,
 		MaxRedispatch: *redispatchMax,

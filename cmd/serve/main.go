@@ -58,6 +58,7 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long a shutdown signal may wait for running jobs to checkpoint")
 	queueCap := flag.Int("queue-cap", 256, "pending-job queue bound; submissions past it get HTTP 429 (negative = unbounded)")
 	stuckTimeout := flag.Duration("stuck-timeout", 0, "fail a running job making no campaign progress for this long (0 = off)")
+	predictBudgets := flag.Bool("predict", false, "derive each job's stuck-watchdog budget from its predicted hardest fault instead of the flat -stuck-timeout (never below it)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout: full request including body")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout: response deadline")
@@ -98,6 +99,7 @@ func run() int {
 		CheckpointEvery: *every,
 		QueueCap:        *queueCap,
 		StuckTimeout:    *stuckTimeout,
+		PredictBudgets:  *predictBudgets,
 		Logf:            log.Printf,
 		Cache:           cache,
 	})

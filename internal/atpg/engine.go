@@ -202,7 +202,7 @@ type Engine struct {
 	c     *netlist.Circuit
 	cfg   Config
 	order []int
-	scoap *scoap
+	scoap *SCOAP
 	// obsDist approximates per-gate distance to a primary output.
 	obsDist []int
 

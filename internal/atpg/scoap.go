@@ -2,30 +2,63 @@ package atpg
 
 import "seqatpg/internal/netlist"
 
-// scoap holds SCOAP-style combinational controllability estimates used
-// to guide backtrace decisions: cc0[g]/cc1[g] approximate the effort to
-// set gate g to 0/1. Sequential elements contribute a fixed penalty, so
-// values deeper behind flip-flops look harder — the testability measure
-// HITEC-class generators use.
-type scoap struct {
-	cc0, cc1 []int
+// SCOAP holds SCOAP-style combinational controllability estimates:
+// CC0[g]/CC1[g] approximate the effort to set gate g to 0/1. Sequential
+// elements contribute a fixed penalty, so values deeper behind
+// flip-flops look harder — the testability measure HITEC-class
+// generators use for backtrace guidance and internal/predict feeds into
+// per-fault cost prediction.
+type SCOAP struct {
+	CC0, CC1 []int
+	// Converged reports whether the fixpoint settled within the pass
+	// budget. On a cyclic graph the iteration only ever lowers values,
+	// so an unconverged result is still a sound upper bound — but a
+	// stale one, and consumers ranking faults by it should discount it.
+	Converged bool
+	// Passes is how many fixpoint passes actually ran.
+	Passes int
 }
 
 const (
-	seqPenalty = 20
-	ccCap      = 1 << 20
+	// SeqPenalty is the controllability surcharge per DFF crossed —
+	// the knob that makes state bits behind long register chains
+	// (retimed circuits, the paper's hard case) look expensive.
+	SeqPenalty = 20
+	// CCCap saturates controllability sums; a value at CCCap means
+	// "effectively uncontrollable" (e.g. behind a constant).
+	CCCap = 1 << 20
+
+	// defaultSCOAPPasses is the pass budget the engine's backtrace
+	// uses. Feedback paths through DFFs converge in a handful of
+	// passes on real circuits; backtrace only needs relative order, so
+	// a stale bound is acceptable there.
+	defaultSCOAPPasses = 8
 )
 
-func computeSCOAP(c *netlist.Circuit) *scoap {
-	n := len(c.Gates)
-	s := &scoap{cc0: make([]int, n), cc1: make([]int, n)}
-	for i := range s.cc0 {
-		s.cc0[i] = ccCap
-		s.cc1[i] = ccCap
+// computeSCOAP is the engine-internal entry point, keeping the historic
+// default pass budget for backtrace guidance.
+func computeSCOAP(c *netlist.Circuit) *SCOAP {
+	return ComputeSCOAP(c, defaultSCOAPPasses)
+}
+
+// ComputeSCOAP iterates the controllability fixpoint over the (cyclic)
+// gate graph with an explicit pass budget. maxPasses <= 0 selects the
+// default budget. Values only decrease, so each pass is a monotone
+// refinement; the result reports whether it settled (Converged) so
+// callers that care about absolute magnitudes — not just backtrace
+// order — can discount stale measures.
+func ComputeSCOAP(c *netlist.Circuit, maxPasses int) *SCOAP {
+	if maxPasses <= 0 {
+		maxPasses = defaultSCOAPPasses
 	}
-	// Iterate to fixpoint over the cyclic graph (values only decrease).
+	n := len(c.Gates)
+	s := &SCOAP{CC0: make([]int, n), CC1: make([]int, n)}
+	for i := range s.CC0 {
+		s.CC0[i] = CCCap
+		s.CC1[i] = CCCap
+	}
 	order, _ := c.TopoOrder()
-	for pass := 0; pass < 8; pass++ {
+	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
 		for _, id := range order {
 			g := c.Gates[id]
@@ -34,28 +67,28 @@ func computeSCOAP(c *netlist.Circuit) *scoap {
 			case netlist.Input:
 				c0, c1 = 1, 1
 			case netlist.Const0:
-				c0, c1 = 0, ccCap
+				c0, c1 = 0, CCCap
 			case netlist.Const1:
-				c0, c1 = ccCap, 0
+				c0, c1 = CCCap, 0
 			case netlist.DFF:
-				c0 = capAdd(s.cc0[g.Fanin[0]], seqPenalty)
-				c1 = capAdd(s.cc1[g.Fanin[0]], seqPenalty)
+				c0 = capAdd(s.CC0[g.Fanin[0]], SeqPenalty)
+				c1 = capAdd(s.CC1[g.Fanin[0]], SeqPenalty)
 			case netlist.Buf, netlist.Output:
-				c0 = capAdd(s.cc0[g.Fanin[0]], 1)
-				c1 = capAdd(s.cc1[g.Fanin[0]], 1)
+				c0 = capAdd(s.CC0[g.Fanin[0]], 1)
+				c1 = capAdd(s.CC1[g.Fanin[0]], 1)
 			case netlist.Not:
-				c0 = capAdd(s.cc1[g.Fanin[0]], 1)
-				c1 = capAdd(s.cc0[g.Fanin[0]], 1)
+				c0 = capAdd(s.CC1[g.Fanin[0]], 1)
+				c1 = capAdd(s.CC0[g.Fanin[0]], 1)
 			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
 				ctrl, inv, _ := controlling(g.Type)
 				// Output at "controlled" level: cheapest single input at
 				// the controlling value. Output at the other level: all
 				// inputs at non-controlling values.
-				minCtrl, sumNon := ccCap, 1
+				minCtrl, sumNon := CCCap, 1
 				for _, f := range g.Fanin {
-					cCtrl, cNon := s.cc0[f], s.cc1[f]
+					cCtrl, cNon := s.CC0[f], s.CC1[f]
 					if ctrl != 0 { // controlling value is 1
-						cCtrl, cNon = s.cc1[f], s.cc0[f]
+						cCtrl, cNon = s.CC1[f], s.CC0[f]
 					}
 					if cCtrl < minCtrl {
 						minCtrl = cCtrl
@@ -70,8 +103,8 @@ func computeSCOAP(c *netlist.Circuit) *scoap {
 				}
 			case netlist.Xor, netlist.Xnor:
 				a, b := g.Fanin[0], g.Fanin[1]
-				even := minInt(capAdd(s.cc0[a], s.cc0[b]), capAdd(s.cc1[a], s.cc1[b]))
-				odd := minInt(capAdd(s.cc0[a], s.cc1[b]), capAdd(s.cc1[a], s.cc0[b]))
+				even := minInt(capAdd(s.CC0[a], s.CC0[b]), capAdd(s.CC1[a], s.CC1[b]))
+				odd := minInt(capAdd(s.CC0[a], s.CC1[b]), capAdd(s.CC1[a], s.CC0[b]))
 				even = capAdd(even, 1)
 				odd = capAdd(odd, 1)
 				if g.Type == netlist.Xor {
@@ -80,16 +113,18 @@ func computeSCOAP(c *netlist.Circuit) *scoap {
 					c0, c1 = odd, even
 				}
 			}
-			if c0 < s.cc0[id] {
-				s.cc0[id] = c0
+			if c0 < s.CC0[id] {
+				s.CC0[id] = c0
 				changed = true
 			}
-			if c1 < s.cc1[id] {
-				s.cc1[id] = c1
+			if c1 < s.CC1[id] {
+				s.CC1[id] = c1
 				changed = true
 			}
 		}
+		s.Passes = pass + 1
 		if !changed {
+			s.Converged = true
 			break
 		}
 	}
@@ -97,17 +132,26 @@ func computeSCOAP(c *netlist.Circuit) *scoap {
 }
 
 // cost returns the controllability estimate for setting gate g to v.
-func (s *scoap) cost(g int, v bool) int {
+func (s *SCOAP) cost(g int, v bool) int {
 	if v {
-		return s.cc1[g]
+		return s.CC1[g]
 	}
-	return s.cc0[g]
+	return s.CC0[g]
+}
+
+// ObserveDistance approximates per-gate structural observability: the
+// fanout-edge distance from each gate to the nearest primary output,
+// CCCap where no PO is reachable. It is the same measure the engine's
+// D-frontier ordering uses, exported so internal/predict can combine it
+// with controllability into per-fault features.
+func ObserveDistance(c *netlist.Circuit) []int {
+	return computeObsDist(c)
 }
 
 func capAdd(a, b int) int {
 	c := a + b
-	if c > ccCap {
-		return ccCap
+	if c > CCCap {
+		return CCCap
 	}
 	return c
 }

@@ -207,7 +207,7 @@ func TestSCOAPBasics(t *testing.T) {
 	if s2.cost(z, false) != 0 {
 		t.Error("Const0 is free to set to 0")
 	}
-	if s2.cost(z, true) < ccCap {
+	if s2.cost(z, true) < CCCap {
 		t.Error("Const0 can never be 1")
 	}
 }

@@ -28,7 +28,7 @@ import (
 // test runtime, especially under the race detector.
 var nosyncFS = ioguard.NoSync(ioguard.OS)
 
-func synthC(t *testing.T, states int, seed int64) *netlist.Circuit {
+func synthC(t testing.TB, states int, seed int64) *netlist.Circuit {
 	t.Helper()
 	m, err := fsm.Generate(fsm.GenSpec{Name: "cg", Inputs: 3, Outputs: 2, States: states, Seed: seed})
 	if err != nil {

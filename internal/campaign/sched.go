@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/predict"
+)
+
+// SchedConfig tunes testability-aware scheduling. All of it obeys the
+// predict package's soundness rule: scheduling may reorder faults and
+// shape budgets, never decide verdicts — RunScheduled's outcomes are
+// the same as an unscheduled normalized run's, pinned by tests.
+//
+// None of these knobs enter the checkpoint fingerprint. What the
+// fingerprint binds is what actually executes per queue: the engine
+// config and the exact fault sublist. A resume recomputes the plan
+// (feature extraction is deterministic) and arrives at the same
+// queues; resuming with a predictor that plans differently is rejected
+// loudly as a checkpoint mismatch, never silently re-partitioned.
+type SchedConfig struct {
+	// Predictor scores faults; nil selects predict.Default().
+	Predictor predict.Predictor
+	// WithDensity feeds the per-circuit valid-state-density signal
+	// (bounded BDD reachability, graceful fallback on blow-up) into
+	// the predictor.
+	WithDensity bool
+	// DensityMaxNodes bounds the density BDD (0 = predict's default).
+	DensityMaxNodes int
+	// RungBudgets starts each fault at the ladder rung its predicted
+	// cost calls for, instead of making every hard fault climb from
+	// the bottom: a fault predicted to need 4x the base budget runs
+	// its first attack at 4x and keeps the remaining escalation
+	// passes. The final per-fault budget is unchanged and deterministic
+	// search is truncation-monotone, so verdicts and generated tests
+	// are identical — only the charged effort spent discovering "too
+	// small" on the low rungs disappears. Off, scheduling is a pure
+	// reordering and even the effort counters stay byte-identical.
+	RungBudgets bool
+}
+
+// RunScheduled executes a campaign with testability-aware scheduling:
+// faults are scored by the predictor, ordered easy-first, and
+// predicted-hard faults are routed to a separate big-budget queue that
+// runs concurrently — a pathological fault can no longer serialize a
+// whole campaign behind it. Scheduling implies the same normalization
+// as RunSharded (verdicts must be order-invariant to be reorderable),
+// and the result is merged back in canonical fault order with the same
+// deferred global fault-drop pass.
+func RunScheduled(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, sched SchedConfig) (*Result, error) {
+	cfg = NormalizeForSharding(cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	fs, err := predict.Extract(c, faults, predict.Options{
+		WithDensity:     sched.WithDensity,
+		DensityMaxNodes: sched.DensityMaxNodes,
+		FlushCycles:     cfg.Engine.FlushCycles,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: feature extraction: %w", err)
+	}
+	maxRung := 0
+	if sched.RungBudgets {
+		maxRung = cfg.Retries
+	}
+	plan := predict.NewPlan(fs, sched.Predictor, cfg.Engine.FaultBudget, maxRung)
+	idxs := queueIndices(plan)
+	logQueues(cfg, fs, plan, idxs)
+
+	// Serialize queue logging, as RunSharded does for shards.
+	if cfg.Log != nil {
+		var logMu sync.Mutex
+		inner := cfg.Log
+		cfg.Log = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			inner(format, args...)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nq := len(idxs)
+	results := make([]*Result, nq)
+	errs := make([]error, nq)
+	var wg sync.WaitGroup
+	for q := 0; q < nq; q++ {
+		if len(idxs[q]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			qcfg := queueConfig(cfg, q, sched.RungBudgets)
+			results[q], errs[q] = runPartition(ctx, c, faults, qcfg, idxs[q],
+				fmt.Sprintf(".schedq%d-of-%d", q, nq), fmt.Sprintf("queue %d/%d", q, nq))
+			if errs[q] != nil {
+				cancel()
+			}
+		}(q)
+	}
+	wg.Wait()
+	for q, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scheduled queue %d/%d: %w", q, nq, err)
+		}
+	}
+
+	merged := MergeShardResults(faults, idxs, results)
+	if !merged.Interrupted {
+		if err := UpgradeAborted(c, faults, merged, cfg.fsimWorkers()); err != nil {
+			return nil, fmt.Errorf("campaign: merge fault simulation: %w", err)
+		}
+	}
+	return merged, nil
+}
+
+// queueIndices partitions fault indices by their planned ladder rung
+// (queue 0 = easy, higher queues = predicted-hard), each queue ordered
+// easy-first (ascending score, stable on index). Without rung budgets
+// every rung is 0, so the hard flag alone splits easy from hard.
+func queueIndices(plan *predict.Plan) [][]int {
+	nq := 1
+	for i := range plan.Rungs {
+		q := queueOf(plan, i)
+		if q+1 > nq {
+			nq = q + 1
+		}
+	}
+	idxs := make([][]int, nq)
+	for i := range plan.Rungs {
+		q := queueOf(plan, i)
+		idxs[q] = append(idxs[q], i)
+	}
+	for q := range idxs {
+		ix := idxs[q]
+		sort.SliceStable(ix, func(a, b int) bool {
+			if plan.Scores[ix[a]] != plan.Scores[ix[b]] {
+				return plan.Scores[ix[a]] < plan.Scores[ix[b]]
+			}
+			return ix[a] < ix[b]
+		})
+	}
+	return idxs
+}
+
+// queueOf maps a fault to its queue: its ladder rung, or the two-queue
+// easy/hard split when the plan carries no rungs.
+func queueOf(plan *predict.Plan, i int) int {
+	if plan.Rungs[i] > 0 {
+		return plan.Rungs[i]
+	}
+	if plan.Hard[i] {
+		return 1
+	}
+	return 0
+}
+
+// queueConfig derives queue q's campaign config. With rung budgets the
+// queue starts the ladder at rung q — base budget << q with the
+// remaining escalation passes — so its final per-fault budget matches
+// the unscheduled ladder's exactly.
+func queueConfig(cfg Config, q int, rungBudgets bool) Config {
+	if !rungBudgets || q == 0 {
+		return cfg
+	}
+	qcfg := cfg
+	if qcfg.Engine.FaultBudget > 0 {
+		if qcfg.Engine.FaultBudget > math.MaxInt64>>uint(q) {
+			qcfg.Engine.FaultBudget = math.MaxInt64
+		} else {
+			qcfg.Engine.FaultBudget <<= uint(q)
+		}
+	}
+	qcfg.Retries = cfg.Retries - q
+	if qcfg.Retries < 0 {
+		qcfg.Retries = 0
+	}
+	return qcfg
+}
+
+func logQueues(cfg Config, fs *predict.FeatureSet, plan *predict.Plan, idxs [][]int) {
+	if cfg.Log == nil {
+		return
+	}
+	hard := 0
+	for _, h := range plan.Hard {
+		if h {
+			hard++
+		}
+	}
+	density := "unknown"
+	if fs.Density.Known {
+		density = fmt.Sprintf("%.3g", fs.Density.Value)
+	}
+	cfg.logf("campaign: scheduling %d faults with predictor %s: %d predicted hard, %d queue(s), density %s, scoap converged %v",
+		len(plan.Scores), plan.Predictor, hard, len(idxs), density, fs.SCOAPConverged)
+	for q, ix := range idxs {
+		if len(ix) > 0 {
+			cfg.logf("campaign: queue %d: %d faults", q, len(ix))
+		}
+	}
+}

@@ -150,13 +150,23 @@ func NormalizeForSharding(cfg Config) Config {
 // hook index remapped to the original fault list and a per-shard
 // checkpoint file.
 func runShard(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, idx []int, k, shards int) (*Result, error) {
+	return runPartition(ctx, c, faults, cfg, idx,
+		fmt.Sprintf(".shard%d-of-%d", k, shards), fmt.Sprintf("shard %d/%d", k, shards))
+}
+
+// runPartition runs the sublist idx selects through a plain campaign:
+// hook indices remapped to the original fault list, checkpoint under
+// CheckpointPath + ckptSuffix, log lines prefixed with tag. It is the
+// shared machinery under both the round-robin shards of RunSharded and
+// the predicted-cost queues of RunScheduled.
+func runPartition(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, idx []int, ckptSuffix, tag string) (*Result, error) {
 	sub := make([]fault.Fault, len(idx))
 	for i, gi := range idx {
 		sub[i] = faults[gi]
 	}
 	scfg := cfg
 	if cfg.CheckpointPath != "" {
-		scfg.CheckpointPath = fmt.Sprintf("%s.shard%d-of-%d", cfg.CheckpointPath, k, shards)
+		scfg.CheckpointPath = cfg.CheckpointPath + ckptSuffix
 	}
 	if cfg.Hook != nil {
 		hook := cfg.Hook
@@ -165,7 +175,7 @@ func runShard(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg
 	if cfg.Log != nil {
 		log := cfg.Log
 		scfg.Log = func(format string, args ...any) {
-			log("shard %d/%d: "+format, append([]any{k, shards}, args...)...)
+			log(tag+": "+format, args...)
 		}
 	}
 	return Run(ctx, c, sub, scfg)

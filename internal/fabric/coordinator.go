@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -41,6 +42,14 @@ type Options struct {
 	// several shard jobs); more shards than faults yields empty shards,
 	// which are merged without dispatching anything.
 	Shards int
+	// Balance packs shards by predicted per-fault search cost
+	// (service.PlanShards) instead of round-robin by index, so no
+	// single shard collects the predicted-hard faults and becomes the
+	// straggler that sets the campaign makespan. Placement only moves
+	// faults between shards; the merged verdicts are identical either
+	// way. Workers derive the same partition independently from the
+	// Balanced flag on their shard selector.
+	Balance bool
 	// Lease is how long a dispatched shard may go without observable
 	// progress before its lease is revoked and the shard re-dispatched;
 	// zero selects 30s.
@@ -128,15 +137,25 @@ type Coordinator struct {
 	shardsRestored atomic.Int64
 	shardsCached   atomic.Int64
 	inflight       map[string]*atomic.Int64 // worker URL -> running shard jobs
+
+	// Predicted per-shard load spread of the current placement, in
+	// (rounded) predicted gate evaluations; set once per Run when
+	// Balance is on.
+	predShardMax atomic.Int64
+	predShardMin atomic.Int64
+	predTotal    atomic.Int64
 }
 
 // journalFile is the durable run journal: which campaign this is (so a
 // restarted coordinator refuses to mix state from a different one) and
-// which shards have already finished.
+// which shards have already finished. Balanced records the placement
+// mode: a balanced and a round-robin run of the same campaign produce
+// different shard sublists, so their journals must not mix either.
 type journalFile struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
 	Shards      int    `json:"shards"`
+	Balanced    bool   `json:"balanced,omitempty"`
 	Done        []int  `json:"done"`
 }
 
@@ -202,7 +221,17 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*campaign.Res
 	}
 	ccfg := campaign.NormalizeForSharding(p.Campaign)
 	fp := campaign.Fingerprint(p.Circuit, ccfg, p.Faults)
-	idxs := campaign.ShardIndices(len(p.Faults), c.opts.Shards)
+	var idxs [][]int
+	if c.opts.Balance {
+		var scores []float64
+		idxs, scores, err = service.PlanShards(p.Circuit, p.Faults, c.opts.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: balanced placement: %w", err)
+		}
+		c.recordPlacement(idxs, scores)
+	} else {
+		idxs = campaign.ShardIndices(len(p.Faults), c.opts.Shards)
+	}
 
 	if err := c.handshake(ctx); err != nil {
 		return nil, err
@@ -253,6 +282,47 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*campaign.Res
 		}
 	}
 	return merged, nil
+}
+
+// recordPlacement publishes the predicted load spread of a balanced
+// placement — how evenly the packing spread predicted evaluations over
+// the shards — and logs it for operators comparing against the
+// straggler shards a round-robin split would produce.
+func (c *Coordinator) recordPlacement(idxs [][]int, scores []float64) {
+	minLoad, maxLoad, total := math.Inf(1), 0.0, 0.0
+	for _, ix := range idxs {
+		var load float64
+		for _, gi := range ix {
+			load += scores[gi]
+		}
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+		if load < minLoad {
+			minLoad = load
+		}
+	}
+	if minLoad > maxLoad {
+		minLoad = maxLoad
+	}
+	c.predShardMax.Store(satInt64(maxLoad))
+	c.predShardMin.Store(satInt64(minLoad))
+	c.predTotal.Store(satInt64(total))
+	c.logf("fabric: balanced placement over %d shards: predicted evals min %d / max %d / total %d",
+		len(idxs), satInt64(minLoad), satInt64(maxLoad), satInt64(total))
+}
+
+// satInt64 rounds a non-negative float to int64, saturating instead of
+// relying on the implementation-defined overflow conversion.
+func satInt64(v float64) int64 {
+	if v >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
 }
 
 // shardDigests derives each shard's content address from its exact
@@ -425,7 +495,7 @@ func (c *Coordinator) pickWorker(ctx context.Context, avoid string) (*Client, er
 // hard error only for conditions re-dispatching cannot fix.
 func (c *Coordinator) dispatchOnce(ctx context.Context, cl *Client, base service.Spec, k, wantFaults int) (*campaign.Result, bool, error) {
 	spec := base
-	spec.Shard = &service.ShardSel{Index: k, Count: c.opts.Shards}
+	spec.Shard = &service.ShardSel{Index: k, Count: c.opts.Shards, Balanced: c.opts.Balance}
 	if spec.Name == "" {
 		spec.Name = "fabric"
 	}
@@ -582,7 +652,7 @@ func (c *Coordinator) journalPath() string {
 func (c *Coordinator) loadJournal(fp string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.journal = journalFile{Version: journalVersion, Fingerprint: fp, Shards: c.opts.Shards}
+	c.journal = journalFile{Version: journalVersion, Fingerprint: fp, Shards: c.opts.Shards, Balanced: c.opts.Balance}
 	if c.opts.Dir == "" {
 		return nil
 	}
@@ -600,8 +670,8 @@ func (c *Coordinator) loadJournal(fp string) error {
 		c.startFreshLocked()
 		return nil
 	}
-	if j.Fingerprint != fp || j.Shards != c.opts.Shards {
-		c.logf("fabric: journal belongs to a different campaign (or shard count), starting fresh")
+	if j.Fingerprint != fp || j.Shards != c.opts.Shards || j.Balanced != c.opts.Balance {
+		c.logf("fabric: journal belongs to a different campaign (or shard count/placement), starting fresh")
 		c.startFreshLocked()
 		return nil
 	}

@@ -30,16 +30,26 @@ type MetricsSnapshot struct {
 	// WorkerInflight maps worker URL to its currently dispatched shard
 	// jobs.
 	WorkerInflight map[string]int64
+	// PredictedShardEvalsMax/Min bound the predicted load spread of the
+	// current balanced placement, and PredictedEvalsTotal is the whole
+	// campaign's predicted effort; all zero when Balance is off. A
+	// max/min ratio near 1 means no shard was packed into a straggler.
+	PredictedShardEvalsMax int64
+	PredictedShardEvalsMin int64
+	PredictedEvalsTotal    int64
 }
 
 // Metrics snapshots the coordinator's counters.
 func (c *Coordinator) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		LeasesActive:        c.leasesActive.Load(),
-		RedispatchTotal:     c.redispatch.Load(),
-		ShardsRestoredTotal: c.shardsRestored.Load(),
-		ShardsCachedTotal:   c.shardsCached.Load(),
-		WorkerInflight:      map[string]int64{},
+		LeasesActive:           c.leasesActive.Load(),
+		RedispatchTotal:        c.redispatch.Load(),
+		ShardsRestoredTotal:    c.shardsRestored.Load(),
+		ShardsCachedTotal:      c.shardsCached.Load(),
+		WorkerInflight:         map[string]int64{},
+		PredictedShardEvalsMax: c.predShardMax.Load(),
+		PredictedShardEvalsMin: c.predShardMin.Load(),
+		PredictedEvalsTotal:    c.predTotal.Load(),
 	}
 	for _, cl := range c.clients {
 		snap.WorkerEjectedTotal += cl.Ejections()
@@ -65,6 +75,9 @@ func (c *Coordinator) MetricsHandler() http.Handler {
 		counter("atpg_fabric_worker_ejected_total", "Circuit-breaker openings across the fleet.", snap.WorkerEjectedTotal)
 		counter("atpg_fabric_shards_restored_total", "Shards restored from the durable journal on coordinator restart.", snap.ShardsRestoredTotal)
 		counter("atpg_fabric_shards_cached_total", "Shards served from the content-addressed result cache instead of dispatched.", snap.ShardsCachedTotal)
+		gauge("atpg_fabric_predicted_shard_evals_max", "Predicted evaluations of the heaviest shard in the balanced placement (0 when balancing is off).", snap.PredictedShardEvalsMax)
+		gauge("atpg_fabric_predicted_shard_evals_min", "Predicted evaluations of the lightest shard in the balanced placement (0 when balancing is off).", snap.PredictedShardEvalsMin)
+		gauge("atpg_fabric_predicted_evals_total", "Predicted evaluations of the whole placed campaign (0 when balancing is off).", snap.PredictedEvalsTotal)
 		var cs rescache.Stats
 		if c.opts.Cache != nil {
 			cs = c.opts.Cache.Stats()

@@ -1,0 +1,55 @@
+package predict
+
+import (
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/reach"
+)
+
+// Density is the per-circuit valid-state-density signal: the fraction
+// of the 2^DFFs state space reachable after flush. The paper's central
+// measure — sparse encodings (retimed circuits) make justification
+// walk long corridors of invalid states, so low density predicts high
+// per-fault cost across the whole circuit.
+type Density struct {
+	// Known is false when the signal could not be computed within the
+	// effort bound (BDD blow-up, no reset line, analysis error). The
+	// fallback is neutral: Value 1, no circuit-level hardness boost —
+	// prediction degrades gracefully instead of stalling admission
+	// behind an expensive symbolic traversal.
+	Known bool
+	// Value is ValidStates / 2^DFFs in (0, 1]; 1 when not Known.
+	Value       float64
+	ValidStates float64
+	DFFs        int
+}
+
+// defaultDensityMaxNodes bounds the prediction-time BDD far below
+// reach's own 4M-node analysis default: the predictor must stay cheap
+// relative to the search it is predicting, and a circuit whose
+// reachability blows past this bound is exactly the kind of circuit
+// whose density signal we can afford to lose.
+const defaultDensityMaxNodes = 250_000
+
+// CircuitDensity computes the valid-state density with a bounded
+// symbolic traversal, falling back to the neutral signal on any
+// failure. It never returns an error: a predictor input that cannot be
+// computed is a missing feature, not a fault of the submission.
+func CircuitDensity(c *netlist.Circuit, flushCycles, maxNodes int) Density {
+	if maxNodes <= 0 {
+		maxNodes = defaultDensityMaxNodes
+	}
+	if c.ResetPI < 0 || len(c.DFFs) == 0 {
+		return Density{Known: false, Value: 1, DFFs: len(c.DFFs)}
+	}
+	an, err := reach.Analyze(c, reach.Options{FlushCycles: flushCycles, MaxNodes: maxNodes})
+	if err != nil {
+		return Density{Known: false, Value: 1, DFFs: len(c.DFFs)}
+	}
+	d := an.Density
+	if !(d > 0) || d > 1 {
+		// A degenerate traversal (empty valid set, numeric overflow on
+		// huge registers) carries no ranking information.
+		return Density{Known: false, Value: 1, DFFs: an.NumDFFs}
+	}
+	return Density{Known: true, Value: d, ValidStates: an.ValidStates, DFFs: an.NumDFFs}
+}

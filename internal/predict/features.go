@@ -1,0 +1,238 @@
+// Package predict estimates per-fault sequential-ATPG cost from cheap
+// structural features, before any search effort is paid. The paper's
+// thesis — density of valid-state encoding predicts ATPG complexity —
+// makes cost predictable up front; this package turns that into
+// numbers the campaign scheduler, the service admission layer and the
+// fabric placer can act on.
+//
+// The soundness rule every consumer must respect: prediction may only
+// REORDER work and BUDGET work, never decide verdicts. A fault's
+// detected/redundant/aborted outcome remains a pure function of
+// (circuit, engine config, fault); a misprediction costs latency, not
+// correctness.
+package predict
+
+import (
+	"bytes"
+	"fmt"
+
+	"seqatpg/internal/atpg"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/sim"
+)
+
+// Features is one fault's structural feature vector. All fields are
+// derived from the netlist alone — no simulation, no search.
+type Features struct {
+	// CC0/CC1 are the SCOAP controllability estimates of the faulty
+	// line (the driver for an input-pin fault, the gate itself for an
+	// output stem fault).
+	CC0, CC1 int
+	// CCAct is the controllability of the activation value: setting
+	// the line opposite to the stuck value.
+	CCAct int
+	// Obs is the fanout-edge distance from the fault's host gate to
+	// the nearest primary output (atpg.CCCap if unobservable).
+	Obs int
+	// SeqDepth is the minimum number of DFFs between the faulty line
+	// and the primary inputs — how many time frames the justification
+	// has to reach back through.
+	SeqDepth int
+	// FFRRoot is the gate id of the fanout-free-region stem the fault
+	// feeds; FFRSize is that region's gate count. Faults inside one
+	// FFR share a propagation bottleneck.
+	FFRRoot, FFRSize int
+	// Fanout is the host gate's fanout count (reconvergence proxy).
+	Fanout int
+}
+
+// FeatureSet is the extraction result for one circuit + fault list.
+type FeatureSet struct {
+	Circuit string
+	Gates   int
+	DFFs    int
+	// SCOAPConverged reports whether the controllability fixpoint
+	// settled within its pass budget; when false the CC magnitudes are
+	// upper bounds and predictors should discount them.
+	SCOAPConverged bool
+	SCOAPPasses    int
+	// Density is the per-circuit valid-state-density signal (with
+	// Known=false when the bounded BDD analysis gave up).
+	Density Density
+	Faults  []Features
+}
+
+// Options tunes extraction.
+type Options struct {
+	// SCOAPPasses is the controllability fixpoint pass budget
+	// (0 = the engine default).
+	SCOAPPasses int
+	// WithDensity enables the valid-state-density signal: a bounded
+	// symbolic reachability via internal/reach that falls back to
+	// Density{Known: false} when the BDD blows past DensityMaxNodes.
+	WithDensity bool
+	// DensityMaxNodes bounds the BDD (0 = defaultDensityMaxNodes).
+	// Deliberately far below reach's own default: prediction must stay
+	// cheap relative to the search it is predicting.
+	DensityMaxNodes int
+	// FlushCycles is the reset-hold prefix for the density traversal
+	// (0 = 1 cycle).
+	FlushCycles int
+}
+
+// depth of sequential-depth fixpoint passes; like SCOAP, values only
+// decrease and real circuits settle in a handful of passes.
+const seqDepthPasses = 16
+
+// Extract computes the feature set for faults over c. It never
+// simulates and never searches; cost is a few linear passes over the
+// gate list (plus the optional bounded density analysis). Extraction
+// is deterministic: the same circuit and fault list produce the same
+// FeatureSet, byte-for-byte under Encode — the property that lets a
+// coordinator and its workers derive identical balanced partitions
+// independently.
+func Extract(c *netlist.Circuit, faults []fault.Fault, opt Options) (*FeatureSet, error) {
+	if _, err := c.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+	sc := atpg.ComputeSCOAP(c, opt.SCOAPPasses)
+	obs := atpg.ObserveDistance(c)
+	depth := seqDepth(c)
+	root, size := ffr(c)
+	fanouts := c.Fanouts()
+
+	fs := &FeatureSet{
+		Circuit:        c.Name,
+		Gates:          c.NumGates(),
+		DFFs:           c.NumDFFs(),
+		SCOAPConverged: sc.Converged,
+		SCOAPPasses:    sc.Passes,
+		Density:        Density{Known: false, Value: 1},
+		Faults:         make([]Features, len(faults)),
+	}
+	if opt.WithDensity {
+		fs.Density = CircuitDensity(c, opt.FlushCycles, opt.DensityMaxNodes)
+	}
+
+	for i, f := range faults {
+		if f.Gate < 0 || f.Gate >= len(c.Gates) {
+			return nil, fmt.Errorf("predict: fault %d site gate %d out of range", i, f.Gate)
+		}
+		line := f.Gate // output stem: the line is the gate's own output
+		if f.Pin >= 0 {
+			if f.Pin >= len(c.Gates[f.Gate].Fanin) {
+				return nil, fmt.Errorf("predict: fault %d pin %d out of range for gate %d", i, f.Pin, f.Gate)
+			}
+			line = c.Gates[f.Gate].Fanin[f.Pin]
+		}
+		ft := Features{
+			CC0:      sc.CC0[line],
+			CC1:      sc.CC1[line],
+			Obs:      obs[f.Gate],
+			SeqDepth: depth[line],
+			FFRRoot:  root[f.Gate],
+			Fanout:   len(fanouts[f.Gate]),
+		}
+		ft.FFRSize = size[ft.FFRRoot]
+		// Activating stuck-at-v requires driving the line to ¬v.
+		if f.SA == sim.V0 {
+			ft.CCAct = ft.CC1
+		} else {
+			ft.CCAct = ft.CC0
+		}
+		fs.Faults[i] = ft
+	}
+	return fs, nil
+}
+
+// seqDepth computes, per gate, the minimum number of DFFs on any path
+// back to a primary input or constant — the time-frame reach-back a
+// justification needs. Fixpoint over the cyclic graph, monotone
+// decreasing, bounded passes (unsettled gates keep a saturated bound,
+// which is sound: they only look harder).
+func seqDepth(c *netlist.Circuit) []int {
+	n := len(c.Gates)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = atpg.CCCap
+	}
+	order, _ := c.TopoOrder()
+	for pass := 0; pass < seqDepthPasses; pass++ {
+		changed := false
+		for _, id := range order {
+			g := c.Gates[id]
+			var d int
+			switch g.Type {
+			case netlist.Input, netlist.Const0, netlist.Const1:
+				d = 0
+			default:
+				d = atpg.CCCap
+				for _, f := range g.Fanin {
+					if depth[f] < d {
+						d = depth[f]
+					}
+				}
+				if g.Type == netlist.DFF && d < atpg.CCCap {
+					d++
+				}
+			}
+			if d < depth[id] {
+				depth[id] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return depth
+}
+
+// ffr assigns each gate its fanout-free-region root: the first gate
+// reached through single-fanout combinational edges whose output is a
+// stem (fanout != 1), feeds a sequential or output element, or drives
+// nothing. size[r] counts the gates in root r's region.
+func ffr(c *netlist.Circuit) (root, size []int) {
+	n := len(c.Gates)
+	fanouts := c.Fanouts()
+	root = make([]int, n)
+	size = make([]int, n)
+	order, _ := c.TopoOrder()
+	// Reverse topological order so a gate's consumer is resolved first.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		root[id] = id
+		fo := fanouts[id]
+		if len(fo) != 1 {
+			continue
+		}
+		next := fo[0]
+		switch c.Gates[next].Type {
+		case netlist.DFF, netlist.Output:
+			// Region boundary: the stem ends here.
+		default:
+			root[id] = root[next]
+		}
+	}
+	for id := 0; id < n; id++ {
+		size[root[id]]++
+	}
+	return root, size
+}
+
+// Encode renders a FeatureSet in a canonical byte form: the vehicle
+// for the determinism property (same circuit ⇒ identical bytes across
+// runs, processes and netlist round-trips) and for content-addressing
+// prediction inputs.
+func Encode(fs *FeatureSet) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "predict-features v1\ncircuit %s gates %d dffs %d\n", fs.Circuit, fs.Gates, fs.DFFs)
+	fmt.Fprintf(&b, "scoap converged %v passes %d\n", fs.SCOAPConverged, fs.SCOAPPasses)
+	fmt.Fprintf(&b, "density known %v value %.9g states %.9g\n", fs.Density.Known, fs.Density.Value, fs.Density.ValidStates)
+	for i, f := range fs.Faults {
+		fmt.Fprintf(&b, "%d cc0 %d cc1 %d act %d obs %d seq %d ffr %d/%d fan %d\n",
+			i, f.CC0, f.CC1, f.CCAct, f.Obs, f.SeqDepth, f.FFRRoot, f.FFRSize, f.Fanout)
+	}
+	return b.Bytes()
+}

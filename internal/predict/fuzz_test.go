@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"bytes"
+	"testing"
+
+	"seqatpg/internal/fault"
+	"seqatpg/internal/netlist"
+)
+
+// FuzzPredictFeatures throws arbitrary netlists at feature extraction.
+// Any circuit the validated readers accept — degenerate, cyclic
+// through DFFs, reset-less, constant-riddled — must extract without
+// panicking, and extraction must be deterministic (the property the
+// fabric's independently-computed balanced partitions stand on).
+func FuzzPredictFeatures(f *testing.F) {
+	f.Add([]byte(".name t\n.reset 0\n0 INPUT rst\n1 INPUT a\n2 NOT n 1\n3 DFF q 2\n4 OUTPUT o 3\n.end\n"))
+	f.Add([]byte(".name fb\n.reset -1\n0 INPUT a\n1 DFF d 2\n2 XOR x 0 1\n3 OUTPUT o 1\n.end\n"))
+	f.Add([]byte(".name k\n.reset -1\n0 CONST0 z\n1 OUTPUT o 0\n.end\n"))
+	f.Add([]byte("INPUT(rst)\nINPUT(a)\nOUTPUT(o)\nq = DFF(n)\nn = NOT(a)\no = AND(q, rst)\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := netlist.Read(bytes.NewReader(data))
+		if err != nil {
+			c, err = netlist.ReadBench(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+		}
+		faults := fault.FullUniverse(c)
+		// Tiny density bound: the fallback path must be as panic-free
+		// as the happy path, and fuzzing cannot afford real traversals.
+		opt := Options{WithDensity: true, DensityMaxNodes: 64, SCOAPPasses: 2}
+		fs, err := Extract(c, faults, opt)
+		if err != nil {
+			return
+		}
+		fs2, err := Extract(c, faults, opt)
+		if err != nil {
+			t.Fatalf("second extraction errored after the first succeeded: %v", err)
+		}
+		if !bytes.Equal(Encode(fs), Encode(fs2)) {
+			t.Fatal("extraction is not deterministic")
+		}
+		p := Default()
+		for i := range faults {
+			s := p.Score(fs, i)
+			if s != s || s < 0 { // NaN or negative
+				t.Fatalf("score %d is %v", i, s)
+			}
+		}
+		if plan := NewPlan(fs, nil, 1000, 3); len(plan.Rungs) != len(faults) {
+			t.Fatal("plan shape mismatch")
+		}
+		idxs := BalancedIndices(NewPlan(fs, nil, 0, 0).Scores, 3)
+		n := 0
+		for _, bin := range idxs {
+			n += len(bin)
+		}
+		if n != len(faults) {
+			t.Fatalf("balanced partition covers %d of %d", n, len(faults))
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package predict
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"seqatpg/internal/encode"
+	"seqatpg/internal/fault"
+	"seqatpg/internal/fsm"
+	"seqatpg/internal/netlist"
+	"seqatpg/internal/retime"
+	"seqatpg/internal/synth"
+)
+
+func synthC(t *testing.T, states int, seed int64) *netlist.Circuit {
+	t.Helper()
+	m, err := fsm.Generate(fsm.GenSpec{Name: "pr", Inputs: 3, Outputs: 2, States: states, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.Synthesize(m, synth.Options{
+		Algorithm: encode.Combined, Script: synth.Rugged, UseUnreachableDC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Circuit
+}
+
+// TestExtractDeterminism is the load-bearing property: the coordinator
+// and every worker recompute features independently and must arrive at
+// byte-identical vectors — across repeated runs and across a netlist
+// serialization round-trip.
+func TestExtractDeterminism(t *testing.T) {
+	orig := synthC(t, 9, 12)
+	re, err := retime.Backward(orig, netlist.DefaultLibrary(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*netlist.Circuit{orig, re.Circuit} {
+		faults := fault.CollapsedUniverse(c)
+		opt := Options{WithDensity: true}
+		first, err := Extract(c, faults, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := Encode(first)
+		for i := 0; i < 3; i++ {
+			fs, err := Extract(c, faults, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(Encode(fs), ref) {
+				t.Fatalf("%s: extraction run %d produced different bytes", c.Name, i)
+			}
+		}
+		// Round-trip the netlist through its exchange format.
+		var b strings.Builder
+		if err := netlist.Write(&b, c); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := netlist.Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Extract(rt, faults, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(Encode(fs), ref) {
+			t.Fatalf("%s: features diverge after netlist round-trip", c.Name)
+		}
+		// Scores are a pure function of the features.
+		p := Default()
+		for i := range faults {
+			if p.Score(first, i) != p.Score(fs, i) {
+				t.Fatalf("%s: score %d not reproducible", c.Name, i)
+			}
+		}
+	}
+}
+
+// TestFeatureShape sanity-checks that the features carry the signal
+// the paper predicts: retiming (sparser valid-state encoding, deeper
+// registers) makes the circuit look harder.
+func TestFeatureShape(t *testing.T) {
+	orig := synthC(t, 9, 12)
+	re, err := retime.Backward(orig, netlist.DefaultLibrary(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := Extract(orig, fault.CollapsedUniverse(orig), Options{WithDensity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Extract(re.Circuit, fault.CollapsedUniverse(re.Circuit), Options{WithDensity: true, FlushCycles: re.FlushCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fo.Density.Known || !fr.Density.Known {
+		t.Fatalf("density unknown on small circuits: orig %v retimed %v", fo.Density, fr.Density)
+	}
+	if fr.Density.Value >= fo.Density.Value {
+		t.Errorf("retiming did not lower valid-state density: %.4g -> %.4g", fo.Density.Value, fr.Density.Value)
+	}
+	if !fo.SCOAPConverged {
+		t.Error("SCOAP did not converge on the original circuit")
+	}
+	mean := func(fs *FeatureSet) (m float64) {
+		p := Default()
+		for i := range fs.Faults {
+			m += p.Score(fs, i)
+		}
+		return m / float64(len(fs.Faults))
+	}
+	if mean(fr) <= mean(fo) {
+		t.Errorf("mean predicted cost did not rise under retiming: %.4g -> %.4g", mean(fo), mean(fr))
+	}
+}
+
+// TestDensityFallback: a BDD bound too small to finish must degrade to
+// the neutral signal, never error or hang.
+func TestDensityFallback(t *testing.T) {
+	c := synthC(t, 9, 12)
+	d := CircuitDensity(c, 1, 2)
+	if d.Known || d.Value != 1 {
+		t.Errorf("blown-up analysis did not fall back to neutral: %+v", d)
+	}
+	// And a circuit without a reset line has no density to compute.
+	nc := netlist.New("plain")
+	in := nc.AddGate(netlist.Input, "in")
+	nc.AddGate(netlist.Output, "out", in)
+	if d := CircuitDensity(nc, 1, 0); d.Known {
+		t.Errorf("reset-less circuit reported known density: %+v", d)
+	}
+}
+
+type fixedScores struct{ s []float64 }
+
+func (f fixedScores) Name() string                        { return "fixed" }
+func (f fixedScores) Score(fs *FeatureSet, i int) float64 { return f.s[i] }
+
+// TestPlanRungs pins rung assignment and the job estimate's clamping.
+func TestPlanRungs(t *testing.T) {
+	fs := &FeatureSet{Faults: make([]Features, 5)}
+	p := fixedScores{s: []float64{10, 150, 900, 1e12, 50}}
+	plan := NewPlan(fs, p, 100, 2)
+	wantRungs := []int{0, 1, 2, 2, 0}
+	wantHard := []bool{false, true, true, true, false}
+	for i := range wantRungs {
+		if plan.Rungs[i] != wantRungs[i] {
+			t.Errorf("rung[%d] = %d, want %d", i, plan.Rungs[i], wantRungs[i])
+		}
+		if plan.Hard[i] != wantHard[i] {
+			t.Errorf("hard[%d] = %v, want %v", i, plan.Hard[i], wantHard[i])
+		}
+	}
+	// Estimate clamps each fault to the ladder's final budget (400).
+	if got := plan.EstimateEvals(100, 2); got != 10+150+400+400+50 {
+		t.Errorf("EstimateEvals = %d, want 1010", got)
+	}
+	// Unbounded budget: raw scores pass through.
+	if got := plan.EstimateEvals(0, 2); got != 10+150+900+1e12+50 {
+		t.Errorf("unbounded EstimateEvals = %d", got)
+	}
+	// Overflow edges saturate instead of wrapping.
+	if got := ladderCap(math.MaxInt64/2, 4); got != math.MaxInt64 {
+		t.Errorf("ladderCap overflow = %d", got)
+	}
+	huge := fixedScores{s: []float64{math.MaxInt64, math.MaxInt64, math.MaxInt64}}
+	hp := NewPlan(&FeatureSet{Faults: make([]Features, 3)}, huge, 0, 0)
+	if got := hp.EstimateEvals(0, 0); got != math.MaxInt64 {
+		t.Errorf("summed overflow = %d, want MaxInt64", got)
+	}
+}
+
+// TestBalancedIndices pins the LPT packing: every index lands exactly
+// once, bins are ascending, the packing is deterministic, and the
+// spread beats round-robin on a skewed load.
+func TestBalancedIndices(t *testing.T) {
+	scores := []float64{100, 1, 1, 1, 100, 1, 1, 1}
+	idxs := BalancedIndices(scores, 2)
+	if len(idxs) != 2 {
+		t.Fatalf("got %d bins", len(idxs))
+	}
+	seen := map[int]bool{}
+	loads := make([]float64, 2)
+	for k, bin := range idxs {
+		for i, fi := range bin {
+			if seen[fi] {
+				t.Fatalf("index %d assigned twice", fi)
+			}
+			seen[fi] = true
+			loads[k] += scores[fi]
+			if i > 0 && bin[i-1] >= fi {
+				t.Fatalf("bin %d not ascending: %v", k, bin)
+			}
+		}
+	}
+	if len(seen) != len(scores) {
+		t.Fatalf("%d of %d indices assigned", len(seen), len(scores))
+	}
+	// The two 100s must land in different bins.
+	if loads[0] != loads[1] {
+		t.Errorf("skewed load not balanced: %v", loads)
+	}
+	// Deterministic.
+	again := BalancedIndices(scores, 2)
+	for k := range idxs {
+		if len(again[k]) != len(idxs[k]) {
+			t.Fatal("packing not deterministic")
+		}
+		for i := range idxs[k] {
+			if again[k][i] != idxs[k][i] {
+				t.Fatal("packing not deterministic")
+			}
+		}
+	}
+	// More shards than faults: the extras stay empty, nothing is lost.
+	sparse := BalancedIndices([]float64{5, 3}, 4)
+	total := 0
+	for _, bin := range sparse {
+		total += len(bin)
+	}
+	if total != 2 {
+		t.Errorf("sparse packing covers %d of 2", total)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"seqatpg/internal/rescache"
 )
@@ -113,15 +114,35 @@ func writeBody(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// retryAfterQueueFull is the Retry-After hint (in seconds) sent with
-// queue-full 429 responses: long enough for a couple of queued jobs to
-// drain, short enough that a fleet coordinator re-probes promptly.
-const retryAfterQueueFull = 2
+// Retry-After clamps: the floor is the old hard-coded hint (a couple
+// of queued jobs' drain at low load, and what an empty or unpredicted
+// queue still advertises); the ceiling keeps a mispredicted pileup
+// from pushing clients out for hours.
+const (
+	retryAfterFloor = 2
+	retryAfterCeil  = 600
+)
+
+// retryAfterSeconds converts a predicted queue drain time into a
+// Retry-After value in whole seconds, rounding up and clamping to
+// [retryAfterFloor, retryAfterCeil]. Zero and negative drains (empty
+// queue, no estimates) hit the floor; absurd drains hit the ceiling —
+// the hint is derived from load, but always stays a sane hint.
+func retryAfterSeconds(drain time.Duration) int {
+	if drain <= retryAfterFloor*time.Second {
+		return retryAfterFloor
+	}
+	if drain >= retryAfterCeil*time.Second {
+		return retryAfterCeil
+	}
+	return int((drain + time.Second - 1) / time.Second)
+}
 
 // httpError maps service errors onto status codes. Queue-full 429s
-// carry a Retry-After header so fleet clients back off a stated amount
-// instead of guessing (or hammering).
-func httpError(w http.ResponseWriter, err error) {
+// carry a Retry-After header derived from the predicted drain time of
+// what is actually queued, so fleet clients back off proportionally to
+// the backlog instead of guessing (or hammering).
+func (s *Server) httpError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -132,7 +153,7 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.DrainEstimate())))
 	}
 	writeBody(w, code, map[string]string{"error": err.Error()})
 }
@@ -142,12 +163,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		httpError(w, fmt.Errorf("service: decode submission: %w", err))
+		s.httpError(w, fmt.Errorf("service: decode submission: %w", err))
 		return
 	}
 	id, err := s.Submit(spec)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeBody(w, http.StatusCreated, map[string]string{"id": id})
@@ -160,7 +181,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeBody(w, http.StatusOK, st)
@@ -169,11 +190,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if st.State != Done || st.Result == nil {
-		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		s.httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
 		return
 	}
 	if et := resultETag(st); et != "" {
@@ -214,16 +235,16 @@ func etagMatch(header, etag string) bool {
 func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if st.State != Done {
-		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		s.httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
 		return
 	}
 	data, err := s.fs.ReadFile(filepath.Join(s.dir, st.ID, "vectors.vec"))
 	if err != nil {
-		httpError(w, fmt.Errorf("service: vectors: %w", err))
+		s.httpError(w, fmt.Errorf("service: vectors: %w", err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -238,7 +259,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if !st.Ready {
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.DrainEstimate())))
 	}
 	writeBody(w, code, st)
 }
@@ -250,16 +271,16 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if st.State != Done {
-		httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
+		s.httpError(w, fmt.Errorf("%w: %s is %s", ErrNotDone, st.ID, st.State))
 		return
 	}
 	data, err := s.fs.ReadFile(filepath.Join(s.dir, st.ID, "merge.json"))
 	if err != nil {
-		httpError(w, fmt.Errorf("%w: %s has no shard result (not a shard job?)", ErrNotFound, st.ID))
+		s.httpError(w, fmt.Errorf("%w: %s has no shard result (not a shard job?)", ErrNotFound, st.ID))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -275,7 +296,7 @@ func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	base := filepath.Join(s.dir, st.ID, "checkpoint.json")
@@ -286,13 +307,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	httpError(w, fmt.Errorf("%w: %s has no checkpoint yet", ErrNotFound, st.ID))
+	s.httpError(w, fmt.Errorf("%w: %s has no checkpoint yet", ErrNotFound, st.ID))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.Cancel(id); err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeBody(w, http.StatusOK, map[string]string{"id": id, "cancel": "requested"})
@@ -307,6 +328,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var queued, running, degraded int
 	s.mu.Lock()
 	depth := len(s.queue)
+	pending := s.pendingCostLocked()
 	for _, j := range s.jobs {
 		switch j.state {
 		case Queued:
@@ -348,6 +370,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("atpg_checkpoint_writes_total", "Campaign checkpoint files written.", m.ckptWrites.Load())
 	counter("atpg_checkpoint_failures_total", "Campaign checkpoint writes that failed (degraded mode).", m.ckptFailures.Load())
 	counter("atpg_submit_rejected_total", "Submissions rejected because the queue was full.", m.rejected.Load())
+	gauge("atpg_predicted_queue_evals", "Predicted gate evaluations still ahead of the worker pool (queued plus running jobs).", pending)
+	gauge("atpg_predicted_drain_seconds", "Predicted seconds until the current backlog drains; feeds 429 Retry-After.", int64(s.DrainEstimate()/time.Second))
+	gauge("atpg_predicted_eval_rate", "Per-worker gate evaluations per second used for drain estimates (measured, or the prior).", int64(s.EvalRate()))
+	counter("atpg_predicted_evals_total", "Summed predicted effort of done jobs; compare with atpg_effort_total, its actual counterpart.", m.predictedEvals.Load())
+	counter("atpg_predicted_overrun_jobs_total", "Done jobs whose actual charged effort exceeded their prediction.", m.predictOverruns.Load())
+	counter("atpg_predicted_underrun_jobs_total", "Done jobs that finished within their predicted effort.", m.predictUnderruns.Load())
 	counter("atpg_jobs_quarantined_total", "Jobs quarantined during recovery for unreadable on-disk state.", m.quarantined.Load())
 	counter("atpg_watchdog_trips_total", "Running jobs interrupted by the stuck-progress watchdog.", m.watchdogTrips.Load())
 	var cs rescache.Stats

@@ -95,6 +95,15 @@ type Options struct {
 	// checkpoint activity) for this long is failed rather than left
 	// hanging a worker forever. Zero disables the watchdog.
 	StuckTimeout time.Duration
+	// PredictBudgets derives each job's watchdog budget from its
+	// predicted hardest fault instead of the flat StuckTimeout: the
+	// budget becomes the time that fault needs at the observed
+	// evaluation rate (with a 4x safety margin), never less than
+	// StuckTimeout and never more than an hour. A job full of
+	// predicted-hard faults legitimately goes long between observable
+	// progress events; without this, raising -stuck-timeout for the
+	// worst job penalizes hang detection on every easy one.
+	PredictBudgets bool
 	// Logf, when set, receives server-level log lines.
 	Logf func(format string, args ...any)
 	// FS is the filesystem used for all job-store persistence; nil
@@ -148,6 +157,13 @@ type job struct {
 	quarantined bool
 	digest      string             // content address; empty = uncacheable
 	cancel      context.CancelFunc // non-nil exactly while running
+
+	// costEstimate and maxFaultCost are the job's predicted charged
+	// effort and hardest single fault, in gate evaluations (see
+	// Prepared). Immutable after submission/recovery; zero in records
+	// from builds without prediction.
+	costEstimate int64
+	maxFaultCost int64
 }
 
 // JobStatus is the externally visible snapshot of one job.
@@ -198,6 +214,13 @@ type Server struct {
 	wg   sync.WaitGroup
 
 	metrics counters
+	// perfEvals/perfNanos accumulate the charged effort and wall-clock
+	// run time of cold-run completed jobs; their ratio is the measured
+	// evaluation rate that calibrates drain estimates and predicted
+	// watchdog budgets. Cache hits are excluded — they finish in
+	// microseconds and would inflate the rate without bound.
+	perfEvals atomic.Int64
+	perfNanos atomic.Int64
 	// flight collapses concurrent runs of the same digest; only
 	// consulted when a result cache is configured.
 	flight rescache.Singleflight
@@ -256,6 +279,12 @@ type jobFile struct {
 	// Digest is the job's content address, recorded so ETags and cache
 	// stores survive a restart; absent in records from older builds.
 	Digest string `json:"digest,omitempty"`
+	// CostEstimate and MaxFaultCost are the job's predicted effort (see
+	// Prepared), recorded so drain estimates and predicted watchdog
+	// budgets survive a restart without re-extracting features; absent
+	// in records from older builds (treated as unpredicted).
+	CostEstimate int64 `json:"cost_estimate,omitempty"`
+	MaxFaultCost int64 `json:"max_fault_cost,omitempty"`
 }
 
 // terminalFile marks a finished lifecycle; its absence after a restart
@@ -315,7 +344,8 @@ func (s *Server) recoverJob(name string) (*job, bool) {
 	if jf.ID != name {
 		return s.quarantine(name, jf.Spec, fmt.Sprintf("directory holds job %q", jf.ID)), true
 	}
-	j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued, digest: jf.Digest}
+	j := &job{id: jf.ID, spec: jf.Spec, created: jf.Created, state: Queued, digest: jf.Digest,
+		costEstimate: jf.CostEstimate, maxFaultCost: jf.MaxFaultCost}
 	j.logs.max = s.opts.LogTail
 	var tf terminalFile
 	switch err := readJSON(s.fs, filepath.Join(s.dir, j.id, "terminal.json"), &tf); {
@@ -388,6 +418,115 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// DefaultEvalRate is the deterministic prior for the per-worker
+// evaluation rate (gate evaluations per second) used until the first
+// cold job completes and a measured rate takes over.
+const DefaultEvalRate = 2e6
+
+// maxDrain bounds a drain estimate; past a day the number carries no
+// more information for a Retry-After hint and only risks overflow.
+const maxDrain = 24 * time.Hour
+
+// maxWatchBudget caps a prediction-derived watchdog budget: a
+// prediction gone wild must stretch hang detection, not disable it.
+const maxWatchBudget = time.Hour
+
+// EvalRate reports the pool's gate-evaluation throughput per worker:
+// measured from completed cold runs once there are any, the
+// DefaultEvalRate prior before that.
+func (s *Server) EvalRate() float64 {
+	evals, nanos := s.perfEvals.Load(), s.perfNanos.Load()
+	if evals <= 0 || nanos <= 0 {
+		return DefaultEvalRate
+	}
+	return float64(evals) / (float64(nanos) / float64(time.Second))
+}
+
+// pendingCostLocked sums the predicted effort still ahead of the
+// worker pool: every queued and running job's estimate in full (the
+// finished fraction of a running job is unknown, so the whole estimate
+// is the safe upper bound). Jobs without an estimate contribute
+// nothing. s.mu held.
+func (s *Server) pendingCostLocked() int64 {
+	var total int64
+	for _, j := range s.jobs {
+		if j.state != Queued && j.state != Running {
+			continue
+		}
+		if est := j.costEstimate; est > 0 {
+			if total > int64(^uint64(0)>>1)-est {
+				return int64(^uint64(0) >> 1)
+			}
+			total += est
+		}
+	}
+	return total
+}
+
+// DrainEstimate predicts how long the current backlog — queued plus
+// running jobs — needs to drain: predicted pending evaluations over
+// the pool's evaluation rate. Queue-full 429 Retry-After hints are
+// derived from this, so a client backs off proportionally to what is
+// actually queued instead of a constant.
+func (s *Server) DrainEstimate() time.Duration {
+	s.mu.Lock()
+	cost := s.pendingCostLocked()
+	s.mu.Unlock()
+	if cost <= 0 {
+		return 0
+	}
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := float64(cost) / (s.EvalRate() * float64(workers))
+	if secs >= maxDrain.Seconds() {
+		return maxDrain
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// watchBudget is the watchdog budget for one job: the flat
+// StuckTimeout, or — with PredictBudgets — the larger of it and the
+// time the job's predicted-hardest fault needs at the current
+// evaluation rate with a 4x safety margin, capped at maxWatchBudget.
+// Prediction may stretch the budget, never shrink it below the
+// configured floor.
+func (s *Server) watchBudget(j *job) time.Duration {
+	budget := s.opts.StuckTimeout
+	if !s.opts.PredictBudgets || j.maxFaultCost <= 0 {
+		return budget
+	}
+	secs := 4 * float64(j.maxFaultCost) / s.EvalRate()
+	pred := maxWatchBudget
+	if secs < maxWatchBudget.Seconds() {
+		pred = time.Duration(secs * float64(time.Second))
+	}
+	if pred > budget {
+		budget = pred
+	}
+	return budget
+}
+
+// observePrediction folds a cold-run completion into calibration and
+// accuracy accounting: the measured evaluation rate, and whether the
+// prediction over- or under-estimated the job's actual charged effort.
+func (s *Server) observePrediction(j *job, sum *Summary) {
+	if d := time.Since(j.started); d > 0 && sum.Effort > 0 {
+		s.perfEvals.Add(sum.Effort)
+		s.perfNanos.Add(int64(d))
+	}
+	if j.costEstimate <= 0 {
+		return
+	}
+	s.metrics.predictedEvals.Add(j.costEstimate)
+	if sum.Effort > j.costEstimate {
+		s.metrics.predictOverruns.Add(1)
+	} else {
+		s.metrics.predictUnderruns.Add(1)
+	}
+}
+
 // Submit validates the spec (including parsing the netlist), persists
 // the job and enqueues it. The returned id is stable across restarts.
 // When the result cache holds the spec's digest, the job completes at
@@ -415,10 +554,12 @@ func (s *Server) Submit(spec Spec) (string, error) {
 		return "", fmt.Errorf("%w (%d pending)", ErrQueueFull, n)
 	}
 	id := fmt.Sprintf("j%06d", s.seq)
-	j := &job{id: id, spec: spec, created: time.Now(), state: Queued, digest: digest}
+	j := &job{id: id, spec: spec, created: time.Now(), state: Queued, digest: digest,
+		costEstimate: p.CostEstimate, maxFaultCost: p.MaxFaultCost}
 	j.logs.max = s.opts.LogTail
 	if err := s.writeJSON(filepath.Join(s.dir, id, "job.json"),
-		jobFile{ID: id, Spec: spec, Created: j.created, Digest: digest}); err != nil {
+		jobFile{ID: id, Spec: spec, Created: j.created, Digest: digest,
+			CostEstimate: p.CostEstimate, MaxFaultCost: p.MaxFaultCost}); err != nil {
 		s.mu.Unlock()
 		return "", err
 	}
@@ -758,8 +899,9 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	ccfg.Log = s.jobLogger(j)
 
+	wbudget := s.watchBudget(j)
 	if s.opts.StuckTimeout > 0 {
-		stopWatch := s.watchJob(ctx, j)
+		stopWatch := s.watchJob(ctx, j, wbudget)
 		defer stopWatch()
 	}
 
@@ -781,7 +923,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		// The watchdog tripped: fail the job rather than hang its
 		// worker forever. Checkpoints stay on disk — a resubmitted or
 		// restarted run resumes past the progress that was made.
-		s.finishJob(j, Failed, fmt.Sprintf("watchdog: no campaign progress within %v", s.opts.StuckTimeout), nil)
+		s.finishJob(j, Failed, fmt.Sprintf("watchdog: no campaign progress within %v", wbudget), nil)
 	case err != nil:
 		s.finishJob(j, Failed, err.Error(), nil)
 	case res.Interrupted && j.cancelReq.Load():
@@ -803,6 +945,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			return
 		}
 		s.metrics.addResult(&sum)
+		s.observePrediction(j, &sum)
 		s.finishJob(j, Done, "", &sum)
 		s.cacheStore(j, res)
 	}
@@ -811,17 +954,18 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 // watchJob is the per-job stuck watchdog: while the job runs, it
 // samples the observable progress counters (fault attempts plus
 // checkpoint activity, successes and failures alike) and, if nothing
-// moved for StuckTimeout, marks the job stuck and cancels its
-// campaign. runJob then fails the job — a pathological search that
-// stopped advancing surfaces as an error with a reason, instead of
-// silently pinning a worker forever. Returns the stop function.
-func (s *Server) watchJob(ctx context.Context, j *job) func() {
+// moved for the budget (see watchBudget), marks the job stuck and
+// cancels its campaign. runJob then fails the job — a pathological
+// search that stopped advancing surfaces as an error with a reason,
+// instead of silently pinning a worker forever. Returns the stop
+// function.
+func (s *Server) watchJob(ctx context.Context, j *job, budget time.Duration) func() {
 	progress := func() int64 {
 		return j.attempts.Load() + j.ckptWrites.Load() + j.ckptFailures.Load()
 	}
 	done := make(chan struct{})
 	go func() {
-		tick := s.opts.StuckTimeout / 4
+		tick := budget / 4
 		if tick < 10*time.Millisecond {
 			tick = 10 * time.Millisecond
 		}
@@ -839,10 +983,10 @@ func (s *Server) watchJob(ctx context.Context, j *job) func() {
 					last, lastChange = p, time.Now()
 					continue
 				}
-				if time.Since(lastChange) >= s.opts.StuckTimeout {
+				if time.Since(lastChange) >= budget {
 					j.stuckReq.Store(true)
 					s.metrics.watchdogTrips.Add(1)
-					s.logf("job %s: watchdog: no progress for %v, interrupting", j.id, s.opts.StuckTimeout)
+					s.logf("job %s: watchdog: no progress for %v, interrupting", j.id, budget)
 					j.cancel()
 					return
 				}

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 
@@ -13,6 +14,7 @@ import (
 	"seqatpg/internal/campaign"
 	"seqatpg/internal/fault"
 	"seqatpg/internal/netlist"
+	"seqatpg/internal/predict"
 	"seqatpg/internal/retime"
 )
 
@@ -68,10 +70,20 @@ type Spec struct {
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
 }
 
-// ShardSel names one shard of a campaign.ShardIndices partition.
+// ShardSel names one shard of a deterministic fault partition: the
+// round-robin campaign.ShardIndices partition by default, or — when
+// Balanced is set — the predicted-cost-balanced partition PlanShards
+// computes. Coordinator and worker each derive the partition
+// independently from the same netlist; feature extraction is
+// deterministic, so they always agree on the sublists.
 type ShardSel struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// Balanced selects the testability-aware partition: shards packed
+	// to equalize predicted search cost instead of fault counts, so one
+	// shard full of predicted-hard faults cannot become the straggler
+	// that sets the campaign makespan.
+	Balanced bool `json:"balanced,omitempty"`
 }
 
 func (s Spec) shardCount() int {
@@ -107,6 +119,19 @@ type Prepared struct {
 	Faults   []fault.Fault
 	Campaign campaign.Config
 	Shards   int
+	// CostEstimate is the predicted charged effort of this job in gate
+	// evaluations: the sum over its (post-shard-selection) fault list of
+	// per-fault predictions, each clamped to the retry ladder's final
+	// budget. Derived from structural features only — no reachability
+	// analysis — so preparing a submission stays cheap. Admission uses
+	// it to turn queue depth into a drain time; it never influences any
+	// verdict.
+	CostEstimate int64
+	// MaxFaultCost is the largest clamped per-fault prediction in the
+	// job — the budget scale of the single hardest fault, which is what
+	// bounds how long the campaign can legitimately go between
+	// observable progress events.
+	MaxFaultCost int64
 }
 
 // Prepare validates a Spec and builds its executable form.
@@ -186,24 +211,82 @@ func Prepare(spec Spec) (*Prepared, error) {
 	if spec.MaxFaults > 0 && spec.MaxFaults < len(faults) {
 		faults = faults[:spec.MaxFaults]
 	}
+	scores, err := predictScores(c, faults)
+	if err != nil {
+		return nil, fmt.Errorf("service: cost prediction: %w", err)
+	}
 	ccfg := campaign.Config{Engine: ecfg, Retries: spec.Retries}
 	if spec.Shard != nil {
 		// Select this worker's sublist with the same partition a local
-		// RunSharded would use, and normalize the config the same way:
-		// both must match exactly or the merged fleet result would
-		// diverge from a single-node run.
-		idxs := campaign.ShardIndices(len(faults), spec.Shard.Count)
+		// RunSharded (or, for Balanced, the coordinator's PlanShards
+		// call) would use, and normalize the config the same way: both
+		// must match exactly or the merged fleet result would diverge
+		// from a single-node run.
+		var idxs [][]int
+		if spec.Shard.Balanced {
+			idxs = predict.BalancedIndices(scores, spec.Shard.Count)
+		} else {
+			idxs = campaign.ShardIndices(len(faults), spec.Shard.Count)
+		}
 		sub := make([]fault.Fault, 0, len(idxs[spec.Shard.Index]))
+		subScores := make([]float64, 0, len(idxs[spec.Shard.Index]))
 		for _, gi := range idxs[spec.Shard.Index] {
 			sub = append(sub, faults[gi])
+			subScores = append(subScores, scores[gi])
 		}
-		faults = sub
+		faults, scores = sub, subScores
 		ccfg = campaign.NormalizeForSharding(ccfg)
 	}
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Prepared{Circuit: c, Faults: faults, Campaign: ccfg, Shards: spec.shardCount()}, nil
+	p := &Prepared{Circuit: c, Faults: faults, Campaign: ccfg, Shards: spec.shardCount()}
+	for _, sc := range scores {
+		ev := predict.ClampEval(sc, ecfg.FaultBudget, ccfg.Retries)
+		if p.CostEstimate <= math.MaxInt64-ev {
+			p.CostEstimate += ev
+		} else {
+			p.CostEstimate = math.MaxInt64
+		}
+		if ev > p.MaxFaultCost {
+			p.MaxFaultCost = ev
+		}
+	}
+	return p, nil
+}
+
+// predictScores runs structural-only feature extraction (no
+// reachability analysis — submission-time cost must stay linear in the
+// circuit) and scores every fault with the default predictor. The
+// result is a pure, deterministic function of (circuit, fault list):
+// that determinism is what lets a coordinator and its workers derive
+// identical balanced partitions without exchanging them.
+func predictScores(c *netlist.Circuit, faults []fault.Fault) ([]float64, error) {
+	fs, err := predict.Extract(c, faults, predict.Options{})
+	if err != nil {
+		return nil, err
+	}
+	p := predict.Default()
+	scores := make([]float64, len(faults))
+	for i := range faults {
+		scores[i] = p.Score(fs, i)
+	}
+	return scores, nil
+}
+
+// PlanShards partitions a fault universe into shards balanced by
+// predicted search cost — the partition a ShardSel with Balanced set
+// selects — and returns the per-fault scores the packing was derived
+// from. The coordinator calls this to know each shard's sublist for
+// digesting and merging; the worker's Prepare recomputes it and, by
+// determinism of the underlying feature extraction, lands on exactly
+// the same bins.
+func PlanShards(c *netlist.Circuit, faults []fault.Fault, shards int) ([][]int, []float64, error) {
+	scores, err := predictScores(c, faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	return predict.BalancedIndices(scores, shards), scores, nil
 }
 
 // Summary is the JSON-safe digest of a campaign.Result: everything
@@ -288,6 +371,13 @@ type counters struct {
 	effort        atomic.Int64
 	backtracks    atomic.Int64
 	tests         atomic.Int64
+	// Prediction accuracy, fed from cold-run completions: the summed
+	// predicted effort of done jobs (compare against the effort
+	// counter, its actual counterpart) and how many jobs landed over
+	// or under their prediction.
+	predictedEvals   atomic.Int64
+	predictOverruns  atomic.Int64
+	predictUnderruns atomic.Int64
 }
 
 // addResult folds a completed job's final stats into the per-outcome

@@ -12,7 +12,13 @@ import (
 // coordinator refuses workers whose API version differs from its own:
 // a mixed-version fleet must fail fast at the handshake, not corrupt a
 // merge halfway through a campaign.
-const APIVersion = 1
+//
+// v2 added the Balanced field to ShardSel: a worker that does not
+// understand it would reject the submission (unknown field) or — worse,
+// were the field merely ignored — silently run the round-robin sublist
+// under a balanced digest. The bump makes a mixed fleet fail at the
+// handshake instead.
+const APIVersion = 2
 
 // VersionInfo is the /version handshake payload: everything a
 // coordinator needs to decide whether this worker can participate in a
